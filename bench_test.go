@@ -1,0 +1,153 @@
+// Package neusight_bench provides one testing.B benchmark per table and
+// figure of the paper's evaluation (Section 6). Each benchmark builds (or
+// reuses) a reduced-scale lab — profiling the simulated GPUs and training
+// every predictor — and then regenerates the corresponding artifact,
+// reporting the headline error metric alongside the runtime.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale artifacts (larger datasets, longer training) come from
+// `go run ./cmd/experiments`.
+package neusight_bench
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"neusight/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+)
+
+// lab lazily builds the shared reduced-scale lab. Build time is excluded
+// from individual benchmark timings via b.ResetTimer.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() { benchLab = experiments.NewLab(experiments.QuickLabConfig()) })
+	return benchLab
+}
+
+// reportAvgError extracts a trailing percentage cell from the last rows and
+// reports it as a custom benchmark metric.
+func reportAvgError(b *testing.B, t *experiments.Table, col int, metric string) {
+	b.Helper()
+	for i := len(t.Rows) - 1; i >= 0; i-- {
+		if strings.HasPrefix(t.Rows[i][0], "AVERAGE") {
+			cell := strings.TrimSuffix(t.Rows[i][col], "%")
+			if v, err := strconv.ParseFloat(cell, 64); err == nil {
+				b.ReportMetric(v, metric)
+			}
+			return
+		}
+	}
+}
+
+func runExperiment(b *testing.B, id string) []*experiments.Table {
+	l := lab(b)
+	b.ResetTimer()
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = experiments.Run(id, l)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkFig2PriorWorkBMM regenerates Figure 2: Habitat and Li et al.
+// prediction error on BMM across dimensions and GPUs.
+func BenchmarkFig2PriorWorkBMM(b *testing.B) {
+	tables := runExperiment(b, "fig2")
+	if len(tables) != 2 {
+		b.Fatalf("fig2 produced %d tables", len(tables))
+	}
+}
+
+// BenchmarkTable1LargerPredictors regenerates Table 1: bigger direct
+// regressors (deeper MLPs, transformers) still failing out of distribution.
+func BenchmarkTable1LargerPredictors(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// BenchmarkTable2Utilization regenerates Table 2: H100 compute utilization
+// of the BERT-shaped GEMM across batch sizes.
+func BenchmarkTable2Utilization(b *testing.B) {
+	runExperiment(b, "table2")
+}
+
+// BenchmarkFig5WaveScaling regenerates Figure 5: throughput vs wave count
+// on V100.
+func BenchmarkFig5WaveScaling(b *testing.B) {
+	runExperiment(b, "fig5")
+}
+
+// BenchmarkFig7EndToEnd regenerates Figure 7: end-to-end inference and
+// training prediction error of NeuSight vs roofline/Habitat/Li et al.
+// The reported neusight_avg_pct metric is the paper's headline number.
+func BenchmarkFig7EndToEnd(b *testing.B) {
+	tables := runExperiment(b, "fig7")
+	reportAvgError(b, tables[0], 4, "neusight_infer_avg_pct")
+	reportAvgError(b, tables[1], 4, "neusight_train_avg_pct")
+}
+
+// BenchmarkFig8PerOperator regenerates Figure 8: per-operator-type error.
+func BenchmarkFig8PerOperator(b *testing.B) {
+	runExperiment(b, "fig8")
+}
+
+// BenchmarkTable6Contribution regenerates Table 6: per-operator latency
+// contribution on H100.
+func BenchmarkTable6Contribution(b *testing.B) {
+	runExperiment(b, "table6")
+}
+
+// BenchmarkFig9AMD regenerates Figure 9: cross-vendor prediction on the
+// held-out MI250.
+func BenchmarkFig9AMD(b *testing.B) {
+	tables := runExperiment(b, "fig9")
+	reportAvgError(b, tables[0], 4, "amd_infer_avg_pct")
+	reportAvgError(b, tables[1], 4, "amd_train_avg_pct")
+}
+
+// BenchmarkTable7Fusion regenerates Table 7: fused-operator prediction.
+func BenchmarkTable7Fusion(b *testing.B) {
+	runExperiment(b, "table7")
+}
+
+// BenchmarkFig10FP16TensorCore regenerates Figure 10: FP16 tensor-core BMM
+// prediction on H100.
+func BenchmarkFig10FP16TensorCore(b *testing.B) {
+	tables := runExperiment(b, "fig10")
+	reportAvgError(b, tables[0], 4, "fp16_avg_pct")
+}
+
+// BenchmarkTable8Distributed regenerates Table 8: distributed training
+// prediction on the 4-GPU servers.
+func BenchmarkTable8Distributed(b *testing.B) {
+	tables := runExperiment(b, "table8")
+	reportAvgError(b, tables[0], 6, "distributed_avg_pct")
+}
+
+// BenchmarkTable9MultiNode regenerates Table 9: the multi-node GPT-3
+// forecast.
+func BenchmarkTable9MultiNode(b *testing.B) {
+	runExperiment(b, "table9")
+}
+
+// BenchmarkLabBuild measures the full pipeline cost: dataset generation on
+// five simulated GPUs plus training all five NeuSight MLPs and both
+// baselines (the step every other benchmark amortizes).
+func BenchmarkLabBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.NewLab(experiments.QuickLabConfig())
+	}
+}

@@ -1,0 +1,59 @@
+// Command datagen runs the profiling campaign of paper Section 6.1 against
+// the simulated training GPUs: it samples operator configurations over the
+// published ranges, measures them, and writes the dataset CSV plus the tile
+// database consumed by `neusight train`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/tile"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "sampling seed")
+	scale := flag.Float64("scale", 1.0, "multiplier on the default per-category sample counts")
+	outData := flag.String("out", "data.csv", "output dataset CSV")
+	outTiles := flag.String("tiles", "tiles.json", "output tile database")
+	amd := flag.Bool("amd", false, "profile the AMD training GPUs (MI100, MI210) instead")
+	flag.Parse()
+
+	cfg := dataset.DefaultGenConfig(*seed)
+	cfg.BMM = scaleCount(cfg.BMM, *scale)
+	cfg.FC = scaleCount(cfg.FC, *scale)
+	cfg.EW = scaleCount(cfg.EW, *scale)
+	cfg.Softmax = scaleCount(cfg.Softmax, *scale)
+	cfg.LN = scaleCount(cfg.LN, *scale)
+	if *amd {
+		cfg.GPUs = gpu.AMDTrainSet()
+	}
+
+	tdb := tile.NewDB()
+	ds := dataset.Generate(cfg, gpusim.New(), tdb)
+	if err := ds.SaveCSV(*outData); err != nil {
+		fatal(err)
+	}
+	if err := tdb.Save(*outTiles); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d samples to %s and %d tile records to %s\n",
+		ds.Len(), *outData, tdb.Len(), *outTiles)
+}
+
+func scaleCount(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/tile"
+)
+
+func TestScaleCount(t *testing.T) {
+	if got := scaleCount(100, 0.5); got != 50 {
+		t.Fatalf("scaleCount(100, 0.5) = %d", got)
+	}
+	if got := scaleCount(3, 0.01); got != 1 {
+		t.Fatalf("scaleCount floor = %d, want 1", got)
+	}
+	if got := scaleCount(10, 2); got != 20 {
+		t.Fatalf("scaleCount(10, 2) = %d", got)
+	}
+}
+
+// TestDatagenFlow exercises the generation + persistence path main drives.
+func TestDatagenFlow(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	tilePath := filepath.Join(dir, "tiles.json")
+
+	cfg := dataset.GenConfig{
+		Seed: 1, BMM: 10, FC: 5, EW: 5, Softmax: 3, LN: 3,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}
+	tdb := tile.NewDB()
+	ds := dataset.Generate(cfg, gpusim.New(), tdb)
+	if err := ds.SaveCSV(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := tdb.Save(tilePath); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{dataPath, tilePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+	back, err := dataset.LoadCSV(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost samples: %d vs %d", back.Len(), ds.Len())
+	}
+}
+
+// TestAMDFlagSelectsAMDGPUs mirrors the -amd path.
+func TestAMDFlagSelectsAMDGPUs(t *testing.T) {
+	cfg := dataset.GenConfig{
+		Seed: 2, BMM: 5, FC: 2, EW: 2, Softmax: 1, LN: 1,
+		GPUs: gpu.AMDTrainSet(), MaxBMMDim: 1024,
+	}
+	ds := dataset.Generate(cfg, gpusim.New(), nil)
+	for _, s := range ds.Samples {
+		if s.GPU.Vendor != gpu.AMD {
+			t.Fatalf("sample on %s, want AMD devices only", s.GPU.Name)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. With no arguments it runs everything; otherwise it
+// runs the named artifacts (fig2, table1, table2, fig5, fig7, fig8,
+// table6, fig9, table7, fig10, table8, table9).
+//
+// Results print as markdown and are also written as CSV under -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neusight/internal/experiments"
+)
+
+func main() {
+	outdir := flag.String("outdir", "results", "directory for CSV outputs")
+	quick := flag.Bool("quick", false, "use the reduced lab configuration (faster, noisier)")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+
+	cfg := experiments.DefaultLabConfig()
+	if *quick {
+		cfg = experiments.QuickLabConfig()
+	}
+	fmt.Printf("building lab (scale %.2f): profiling simulated GPUs and training predictors...\n", cfg.Scale)
+	start := time.Now()
+	lab := experiments.NewLab(cfg)
+	fmt.Printf("lab ready in %.1fs (%d training samples)\n\n", time.Since(start).Seconds(), lab.Data.Len())
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, lab)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Markdown())
+			path := filepath.Join(*outdir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("(%s done in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,220 @@
+// Command neusight is the CLI front end of the framework: it lists the
+// device and workload inventories, trains a predictor from a dataset, and
+// forecasts model latencies on any registered GPU.
+//
+// Usage:
+//
+//	neusight list-gpus
+//	neusight list-models
+//	neusight train   -data data.csv -out model.json -tiles tiles.json
+//	neusight predict -model model.json -tiles tiles.json \
+//	                 -workload GPT3-XL -gpu H100 -batch 2 [-train] [-fused]
+//	neusight quick   -workload GPT3-XL -gpu H100 -batch 2
+//
+// "quick" trains a reduced predictor in-process (no files needed) — the
+// fastest way to get a forecast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+	"neusight/internal/report"
+	"neusight/internal/tile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list-gpus":
+		err = listGPUs()
+	case "list-models":
+		err = listModels()
+	case "train":
+		err = train(os.Args[2:])
+	case "predict":
+		err = predict(os.Args[2:])
+	case "quick":
+		err = quick(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "neusight: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neusight: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: neusight <command> [flags]
+
+commands:
+  list-gpus     print the device registry (paper Table 4)
+  list-models   print the workload zoo (paper Table 5)
+  train         train a predictor from a profiled dataset CSV
+  predict       forecast a workload with a saved predictor
+  quick         train a reduced predictor in-process and forecast`)
+}
+
+func listGPUs() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tVENDOR\tYEAR\tPEAK TFLOPS\tMEM GB\tMEM BW GB/s\tSMs\tL2 MB")
+	for _, g := range gpu.All() {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.0f\t%.0f\t%d\t%.0f\n",
+			g.Name, g.Vendor, g.Year, g.PeakFLOPS, g.MemoryGB, g.MemoryBWGBs, g.SMs, g.L2CacheMB)
+	}
+	return w.Flush()
+}
+
+func listModels() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tYEAR\tPARAMS\tLAYERS\tHEADS\tHIDDEN\tSEQ LEN\tOOD DIMS")
+	for _, c := range models.Table5() {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%v\n",
+			c.Name, c.Year, c.ParamsDesc, c.Layers, c.Heads, c.Hidden, c.SeqLen, c.HasOODDims())
+	}
+	return w.Flush()
+}
+
+func train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataPath := fs.String("data", "", "dataset CSV produced by datagen")
+	outPath := fs.String("out", "neusight-model.json", "output predictor path")
+	tilePath := fs.String("tiles", "tiles.json", "tile database path (read if present, else rebuilt)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("train: -data is required")
+	}
+	ds, err := dataset.LoadCSV(*dataPath)
+	if err != nil {
+		return err
+	}
+	tdb, err := tile.LoadDB(*tilePath)
+	if err != nil {
+		// Rebuild the tile database from the dataset's recorded tiles.
+		tdb = tile.NewDB()
+		for _, s := range ds.Samples {
+			tdb.Add(s.Kernel, s.GPU, s.Tile)
+		}
+		if err := tdb.Save(*tilePath); err != nil {
+			return err
+		}
+	}
+	p := core.NewPredictor(core.DefaultConfig(), tdb)
+	rep := p.Train(ds)
+	for cat, l := range rep.FinalLoss {
+		fmt.Printf("trained %-8v on %6d samples, final SMAPE %.3f\n", cat, rep.Samples[cat], l)
+	}
+	return p.Save(*outPath)
+}
+
+func predict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "neusight-model.json", "trained predictor path")
+	tilePath := fs.String("tiles", "tiles.json", "tile database path")
+	workload := fs.String("workload", "GPT3-XL", "workload name (see list-models)")
+	gpuName := fs.String("gpu", "H100", "target GPU (see list-gpus)")
+	batch := fs.Int("batch", 2, "batch size")
+	trainMode := fs.Bool("train", false, "forecast a training iteration instead of inference")
+	fused := fs.Bool("fused", false, "apply the operator-fusion pass first")
+	breakdown := fs.Bool("breakdown", false, "print per-category and per-kernel breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tdb, err := tile.LoadDB(*tilePath)
+	if err != nil {
+		return err
+	}
+	p, err := core.Load(*modelPath, tdb)
+	if err != nil {
+		return err
+	}
+	return forecastOpts(p, *workload, *gpuName, *batch, *trainMode, *fused, *breakdown)
+}
+
+func quick(args []string) error {
+	fs := flag.NewFlagSet("quick", flag.ExitOnError)
+	workload := fs.String("workload", "GPT3-XL", "workload name (see list-models)")
+	gpuName := fs.String("gpu", "H100", "target GPU (see list-gpus)")
+	batch := fs.Int("batch", 2, "batch size")
+	trainMode := fs.Bool("train", false, "forecast a training iteration instead of inference")
+	fused := fs.Bool("fused", false, "apply the operator-fusion pass first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("profiling simulated training GPUs and training a reduced predictor...")
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 42, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256, LR: 3e-3, WeightDecay: 1e-4, Seed: 42,
+	}, tdb)
+	p.Train(ds)
+	return forecast(p, *workload, *gpuName, *batch, *trainMode, *fused)
+}
+
+func forecast(p *core.Predictor, workload, gpuName string, batch int, trainMode, fused bool) error {
+	return forecastOpts(p, workload, gpuName, batch, trainMode, fused, false)
+}
+
+func forecastOpts(p *core.Predictor, workload, gpuName string, batch int, trainMode, fused, breakdown bool) error {
+	m, err := models.Lookup(workload)
+	if err != nil {
+		return err
+	}
+	g, err := gpu.Lookup(gpuName)
+	if err != nil {
+		return err
+	}
+	gr := m.InferenceGraph(batch)
+	mode := "inference (first token)"
+	if trainMode {
+		gr = m.TrainingGraph(batch)
+		mode = "training iteration (fwd+bwd)"
+	}
+	if fused {
+		gr = graph.Fuse(gr)
+		mode += ", fused"
+	}
+	lat := p.PredictGraph(gr, g)
+	fmt.Printf("%s on %s, batch %d, %s\n", m.Name, g.Name, batch, mode)
+	fmt.Printf("kernels: %d   total FLOPs: %.3g   predicted latency: %.1f ms\n",
+		len(gr.Nodes), gr.TotalFLOPs(), lat)
+	if !m.FitsInMemory(batch, g, trainMode) {
+		fmt.Printf("warning: estimated footprint %.1f GB exceeds %s memory (%.0f GB) — real execution would OOM\n",
+			m.MemoryBytes(batch, trainMode)/1e9, g.Name, g.MemoryGB)
+	}
+	if breakdown {
+		b := report.Analyze(gr, func(k kernels.Kernel) float64 {
+			l, err := p.PredictKernel(k, g)
+			if err != nil {
+				return core.MemBoundLatency(k, g)
+			}
+			return l
+		}, 8)
+		fmt.Println()
+		fmt.Print(b.Render())
+	}
+	return nil
+}

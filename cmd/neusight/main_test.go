@@ -1,0 +1,155 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/tile"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+func TestListGPUs(t *testing.T) {
+	out := captureStdout(t, listGPUs)
+	for _, want := range []string{"H100", "V100", "MI250", "B200", "PEAK TFLOPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list-gpus output missing %q", want)
+		}
+	}
+}
+
+func TestListModels(t *testing.T) {
+	out := captureStdout(t, listModels)
+	for _, want := range []string{"BERT-Large", "GPT3-2.7B", "SwitchTrans", "OOD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list-models output missing %q", want)
+		}
+	}
+}
+
+func TestForecastPrintsLatency(t *testing.T) {
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 3, BMM: 80, FC: 40, EW: 30, Softmax: 15, LN: 15,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := core.NewPredictor(core.Config{
+		Hidden: 24, Layers: 2, Epochs: 10, BatchSize: 128, LR: 3e-3, Seed: 3,
+	}, tdb)
+	p.Train(ds)
+
+	out := captureStdout(t, func() error {
+		return forecast(p, "BERT-Large", "V100", 8, false, false)
+	})
+	if !strings.Contains(out, "predicted latency") || !strings.Contains(out, "BERT-Large on V100") {
+		t.Fatalf("forecast output: %q", out)
+	}
+	// Training + fusion path.
+	out = captureStdout(t, func() error {
+		return forecast(p, "GPT2-Large", "L4", 2, true, true)
+	})
+	if !strings.Contains(out, "fused") || !strings.Contains(out, "training iteration") {
+		t.Fatalf("forecast training/fused output: %q", out)
+	}
+}
+
+func TestForecastUnknownInputs(t *testing.T) {
+	p := core.NewPredictor(core.DefaultConfig(), nil)
+	if err := forecast(p, "NotAModel", "V100", 1, false, false); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if err := forecast(p, "BERT-Large", "NotAGPU", 1, false, false); err == nil {
+		t.Fatal("unknown GPU must error")
+	}
+}
+
+func TestTrainPredictRoundTripCLI(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	tilePath := filepath.Join(dir, "tiles.json")
+	modelPath := filepath.Join(dir, "model.json")
+
+	// Produce a small dataset the way cmd/datagen would.
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 4, BMM: 40, FC: 20, EW: 15, Softmax: 8, LN: 8,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	if err := ds.SaveCSV(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := tdb.Save(tilePath); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = captureStdout(t, func() error {
+		return train([]string{"-data", dataPath, "-out", modelPath, "-tiles", tilePath})
+	})
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("train did not write the model: %v", err)
+	}
+	out := captureStdout(t, func() error {
+		return predict([]string{"-model", modelPath, "-tiles", tilePath,
+			"-workload", "BERT-Large", "-gpu", "T4", "-batch", "4"})
+	})
+	if !strings.Contains(out, "predicted latency") {
+		t.Fatalf("predict output: %q", out)
+	}
+}
+
+func TestTrainRequiresData(t *testing.T) {
+	if err := train([]string{}); err == nil {
+		t.Fatal("train without -data must error")
+	}
+}
+
+func TestForecastBreakdownFlag(t *testing.T) {
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 6, BMM: 60, FC: 30, EW: 20, Softmax: 10, LN: 10,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := core.NewPredictor(core.Config{
+		Hidden: 24, Layers: 2, Epochs: 8, BatchSize: 128, LR: 3e-3, Seed: 6,
+	}, tdb)
+	p.Train(ds)
+	out := captureStdout(t, func() error {
+		return forecastOpts(p, "BERT-Large", "V100", 4, false, false, true)
+	})
+	for _, want := range []string{"by operator category", "top kernels"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown output missing %q:\n%s", want, out)
+		}
+	}
+}

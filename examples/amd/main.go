@@ -1,0 +1,53 @@
+// amd reproduces the cross-vendor study of paper Figure 9 in miniature:
+// NeuSight trained only on AMD MI100/MI210 measurements forecasting the
+// held-out MI250 — demonstrating that the tile/wave/roofline decomposition
+// is not CUDA-specific.
+//
+//	go run ./examples/amd
+package main
+
+import (
+	"fmt"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/models"
+	"neusight/internal/tile"
+)
+
+func main() {
+	sim := gpusim.New()
+	tileDB := tile.NewDB()
+	data := dataset.Generate(dataset.GenConfig{
+		Seed: 4, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.AMDTrainSet(), MaxBMMDim: 1024, // MI100 + MI210 only
+	}, sim, tileDB)
+	predictor := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256,
+		LR: 3e-3, WeightDecay: 1e-4, Seed: 4,
+	}, tileDB)
+	predictor.Train(data)
+
+	mi250 := gpu.MustLookup("MI250")
+	fmt.Println("NeuSight trained on MI100/MI210, forecasting MI250:")
+	for _, name := range []string{"BERT-Large", "GPT2-Large", "GPT3-XL", "OPT-1.3B"} {
+		m := models.MustLookup(name)
+		gr := m.InferenceGraph(4)
+		pred := predictor.PredictGraph(gr, mi250)
+		measured := 0.0
+		for _, k := range gr.Kernels() {
+			measured += sim.KernelLatency(k, mi250)
+		}
+		fmt.Printf("  %-12s batch 4: predicted %8.1f ms, simulated %8.1f ms (error %.1f%%)\n",
+			name, pred, measured, abs(pred-measured)/measured*100)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

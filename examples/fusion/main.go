@@ -1,0 +1,65 @@
+// fusion demonstrates the operator-fusion support of paper Section 4.4:
+// it builds GPT2-Large's inference graph, applies the torch.compile-style
+// fusion pass, and compares measured and predicted latency for both — the
+// Table 7 experiment in miniature.
+//
+//	go run ./examples/fusion
+package main
+
+import (
+	"fmt"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/graph"
+	"neusight/internal/models"
+	"neusight/internal/tile"
+)
+
+func main() {
+	tileDB := tile.NewDB()
+	sim := gpusim.New()
+	data := dataset.Generate(dataset.GenConfig{
+		Seed: 3, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, sim, tileDB)
+	predictor := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256,
+		LR: 3e-3, WeightDecay: 1e-4, Seed: 3,
+	}, tileDB)
+	predictor.Train(data)
+
+	gpt2 := models.MustLookup("GPT2-Large")
+	a100 := gpu.MustLookup("A100-40GB")
+
+	plain := gpt2.InferenceGraph(4)
+	fused := graph.Fuse(plain)
+	fmt.Printf("GPT2-Large batch 4 on A100-40GB\n")
+	fmt.Printf("kernels: %d unfused -> %d fused\n", len(plain.Nodes), len(fused.Nodes))
+
+	measure := func(g *graph.Graph) float64 {
+		total := 0.0
+		for _, k := range g.Kernels() {
+			total += sim.KernelLatency(k, a100)
+		}
+		return total
+	}
+	mPlain, mFused := measure(plain), measure(fused)
+	pPlain := predictor.PredictGraph(plain, a100)
+	pFused := predictor.PredictGraph(fused, a100)
+
+	fmt.Printf("measured:  %8.1f ms unfused, %8.1f ms fused (%.1f%% faster)\n",
+		mPlain, mFused, (mPlain-mFused)/mPlain*100)
+	fmt.Printf("predicted: %8.1f ms unfused (%.1f%% err), %8.1f ms fused (%.1f%% err)\n",
+		pPlain, abs(pPlain-mPlain)/mPlain*100,
+		pFused, abs(pFused-mFused)/mFused*100)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

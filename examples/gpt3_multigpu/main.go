@@ -1,0 +1,83 @@
+// gpt3_multigpu forecasts distributed training the way the paper's
+// Section 6.3 does: GPT2-Large across a 4x H100 DGX box under data, tensor,
+// and pipeline parallelism, then GPT-3 scale across 1-3840 multi-GPU nodes
+// with tensor parallelism inside each node and data parallelism across the
+// fat-tree.
+//
+//	go run ./examples/gpt3_multigpu
+package main
+
+import (
+	"fmt"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/distributed"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+	"neusight/internal/network"
+	"neusight/internal/tile"
+)
+
+func main() {
+	predictor := trainPredictor()
+	h100Box := gpu.MustLookupServer("H100x4-DGX")
+
+	// Calibrate the link model on the system we "own" (paper Section 5.1:
+	// measure link utilization of an existing system, apply it to the
+	// target's peak bandwidth).
+	link := network.Calibrate(network.NewSim(), gpu.MustLookupServer("V100x4-NVLink"))
+
+	kernelLat := func(k kernels.Kernel) float64 {
+		l, err := predictor.PredictKernel(k, h100Box.GPU)
+		if err != nil {
+			return core.MemBoundLatency(k, h100Box.GPU)
+		}
+		return l
+	}
+
+	fmt.Println("GPT2-Large training, global batch 4, on 4x H100 (DGX):")
+	for _, s := range []distributed.Strategy{
+		distributed.DataParallel, distributed.TensorParallel, distributed.PipelineParallel,
+	} {
+		f, err := distributed.Estimate(distributed.Plan{
+			Model: models.MustLookup("GPT2-Large"), GlobalBatch: 4,
+			Server: h100Box, Strategy: s, Training: true,
+		}, kernelLat, link)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-18s %8.1f ms  (compute %.1f + network %.1f)\n",
+			s, f.TotalMs, f.ComputeMs, f.NetworkMs)
+	}
+
+	fmt.Println("\nGPT-3 multi-node training forecast (8x H100 per node, TP8 + DP):")
+	node := gpu.MustLookupServer("H100x8-DGX")
+	tree := network.Table9Hierarchy(0.8)
+	for _, nodes := range []int{1, 4, 384, 768, 3840} {
+		f, err := distributed.EstimateMultiNode(distributed.MultiNodePlan{
+			Model: models.GPT3MultiNode(), Nodes: nodes, Server: node,
+			PerNodeBatch: 8, Tree: tree, DType: kernels.FP16,
+		}, kernelLat, link)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %5d nodes: %10.1f ms per iteration\n", nodes, f.TotalMs)
+	}
+}
+
+func trainPredictor() *core.Predictor {
+	tileDB := tile.NewDB()
+	data := dataset.Generate(dataset.GenConfig{
+		Seed: 2, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tileDB)
+	p := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256,
+		LR: 3e-3, WeightDecay: 1e-4, Seed: 2,
+	}, tileDB)
+	p.Train(data)
+	return p
+}

@@ -1,0 +1,58 @@
+// Quickstart: forecast GPT3-XL first-token inference latency on an H100 —
+// a GPU the predictor has never been trained on — in a few lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/models"
+	"neusight/internal/tile"
+)
+
+func main() {
+	// 1. Profile DNN operators on the (simulated) training GPUs — the
+	//    older-generation devices you actually have access to.
+	tileDB := tile.NewDB()
+	data := dataset.Generate(dataset.GenConfig{
+		Seed: 1, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tileDB)
+
+	// 2. Train NeuSight's per-operator utilization predictors.
+	predictor := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256,
+		LR: 3e-3, WeightDecay: 1e-4, Seed: 1,
+	}, tileDB)
+	predictor.Train(data)
+
+	// 3. Forecast a model the predictor never saw on a GPU it never saw.
+	gpt3 := models.MustLookup("GPT3-XL")
+	h100 := gpu.MustLookup("H100")
+	graph := gpt3.InferenceGraph(2)
+
+	latency := predictor.PredictGraph(graph, h100)
+	fmt.Printf("GPT3-XL (batch 2) first-token inference on H100: %.1f ms predicted\n", latency)
+
+	// Compare against the simulated "measurement" (in the paper this
+	// would require owning an H100).
+	sim := gpusim.New()
+	total := 0.0
+	for _, k := range graph.Kernels() {
+		total += sim.KernelLatency(k, h100)
+	}
+	fmt.Printf("simulated ground truth: %.1f ms (error %.1f%%)\n",
+		total, abs(latency-total)/total*100)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

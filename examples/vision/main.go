@@ -1,0 +1,63 @@
+// vision forecasts a CNN — ResNet-50, the workload the paper's intro uses
+// to illustrate why cycle-accurate simulation is impractical ("up to 18
+// hours to simulate ResNet-50 with a batch size of 256") — on two GPUs the
+// predictor never trained on, including the announced-but-unreleased B200,
+// whose spec-sheet features are all NeuSight needs.
+//
+//	go run ./examples/vision
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/models"
+	"neusight/internal/tile"
+)
+
+func main() {
+	tileDB := tile.NewDB()
+	sim := gpusim.New()
+	data := dataset.Generate(dataset.GenConfig{
+		Seed: 5, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, sim, tileDB)
+	predictor := core.NewPredictor(core.Config{
+		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256,
+		LR: 3e-3, WeightDecay: 1e-4, Seed: 5,
+	}, tileDB)
+	predictor.Train(data)
+
+	graph := models.ResNet50InferenceGraph(256)
+	fmt.Printf("ResNet-50, batch 256, %d kernels, %.2f GFLOPs per image\n",
+		len(graph.Nodes), graph.TotalFLOPs()/256/1e9)
+
+	for _, name := range []string{"L4", "H100", "B200"} {
+		g := gpu.MustLookup(name)
+		start := time.Now()
+		pred := predictor.PredictGraph(graph, g)
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("  %-5s predicted %8.1f ms (forecast computed in %s)", name, pred, elapsed.Round(time.Millisecond))
+		if name != "B200" {
+			measured := 0.0
+			for _, k := range graph.Kernels() {
+				measured += sim.KernelLatency(k, g)
+			}
+			line += fmt.Sprintf("; simulated %8.1f ms, error %.1f%%", measured, abs(pred-measured)/measured*100)
+		} else {
+			line += "; no hardware exists to validate against — the paper's exact scenario"
+		}
+		fmt.Println(line)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

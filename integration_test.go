@@ -1,0 +1,239 @@
+package neusight_bench
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/distributed"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+	"neusight/internal/models"
+	"neusight/internal/network"
+	"neusight/internal/tile"
+)
+
+// Integration tests: full end-to-end flows across every layer of the
+// framework, the scenarios a downstream user actually runs.
+
+var (
+	integOnce sync.Once
+	integPred *core.Predictor
+	integSim  *gpusim.Simulator
+)
+
+func integPredictor(t *testing.T) (*core.Predictor, *gpusim.Simulator) {
+	t.Helper()
+	integOnce.Do(func() {
+		integSim = gpusim.New()
+		tdb := tile.NewDB()
+		ds := dataset.Generate(dataset.GenConfig{
+			Seed: 7, BMM: 250, FC: 120, EW: 90, Softmax: 45, LN: 45,
+			GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+		}, integSim, tdb)
+		integPred = core.NewPredictor(core.Config{
+			Hidden: 48, Layers: 3, Epochs: 35, BatchSize: 256,
+			LR: 3e-3, WeightDecay: 1e-4, Seed: 7,
+		}, tdb)
+		integPred.Train(ds)
+	})
+	return integPred, integSim
+}
+
+func measure(sim *gpusim.Simulator, gr *graph.Graph, g gpu.Spec) float64 {
+	total := 0.0
+	for _, k := range gr.Kernels() {
+		if k.Category() == kernels.CatNetwork {
+			continue
+		}
+		total += sim.KernelLatency(k, g)
+	}
+	return total
+}
+
+// TestUnseenModelOnUnseenGPU is the paper's headline scenario end to end.
+func TestUnseenModelOnUnseenGPU(t *testing.T) {
+	p, sim := integPredictor(t)
+	h100 := gpu.MustLookup("H100")
+	for _, name := range []string{"GPT3-XL", "GPT3-2.7B", "OPT-1.3B"} {
+		gr := models.MustLookup(name).InferenceGraph(2)
+		pred := p.PredictGraph(gr, h100)
+		meas := measure(sim, gr, h100)
+		if e := metrics.APE(pred, meas); e > 30 {
+			t.Errorf("%s on H100: error %.1f%%, want < 30%%", name, e)
+		}
+	}
+}
+
+// TestSaveLoadPredictEndToEnd exercises the persistence path the CLI uses.
+func TestSaveLoadPredictEndToEnd(t *testing.T) {
+	p, _ := integPredictor(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	tilePath := filepath.Join(dir, "tiles.json")
+	if err := p.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TileDB.Save(tilePath); err != nil {
+		t.Fatal(err)
+	}
+	tdb, err := tile.LoadDB(tilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Load(modelPath, tdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := models.MustLookup("BERT-Large").InferenceGraph(8)
+	g := gpu.MustLookup("L4")
+	if a, b := p.PredictGraph(gr, g), back.PredictGraph(gr, g); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("reloaded predictor disagrees: %v vs %v", a, b)
+	}
+}
+
+// TestTrainingForecastEndToEnd covers backward-graph derivation + predict.
+func TestTrainingForecastEndToEnd(t *testing.T) {
+	p, sim := integPredictor(t)
+	g := gpu.MustLookup("A100-80GB")
+	gr := models.MustLookup("GPT2-Large").TrainingGraph(4)
+	pred := p.PredictGraph(gr, g)
+	meas := measure(sim, gr, g)
+	if e := metrics.APE(pred, meas); e > 30 {
+		t.Fatalf("training forecast error %.1f%%, want < 30%%", e)
+	}
+	// Training must cost ~3x inference.
+	inf := p.PredictGraph(models.MustLookup("GPT2-Large").InferenceGraph(4), g)
+	if r := pred / inf; r < 2 || r > 4.5 {
+		t.Fatalf("train/infer prediction ratio = %v", r)
+	}
+}
+
+// TestFusionEndToEnd: fusion must speed up both measurement and forecast.
+func TestFusionEndToEnd(t *testing.T) {
+	p, sim := integPredictor(t)
+	g := gpu.MustLookup("A100-40GB")
+	plain := models.MustLookup("GPT2-Large").InferenceGraph(4)
+	fused := graph.Fuse(plain)
+	if measure(sim, fused, g) >= measure(sim, plain, g) {
+		t.Fatal("fusion must reduce measured latency")
+	}
+	if p.PredictGraph(fused, g) >= p.PredictGraph(plain, g) {
+		t.Fatal("fusion must reduce predicted latency")
+	}
+}
+
+// TestVariantArchitecturesPredictable: every kernel of the extended model
+// zoo (T5, Llama, ResNet-50) resolves to a positive forecast.
+func TestVariantArchitecturesPredictable(t *testing.T) {
+	p, _ := integPredictor(t)
+	g := gpu.MustLookup("H100")
+	t5 := models.T5Large()
+	t5.EncLayers, t5.DecLayers = 4, 4
+	llama := models.Llama7B()
+	llama.Layers = 4
+	graphs := []*graph.Graph{
+		t5.InferenceGraph(2),
+		llama.InferenceGraph(1),
+		models.ResNet50InferenceGraph(32),
+	}
+	for _, gr := range graphs {
+		v := p.PredictGraph(gr, g)
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: forecast = %v", gr.Name, v)
+		}
+	}
+}
+
+// TestDistributedEndToEnd runs the whole Table 8 stack on one row.
+func TestDistributedEndToEnd(t *testing.T) {
+	p, sim := integPredictor(t)
+	srv := gpu.MustLookupServer("H100x4-DGX")
+	netSim := network.NewSim()
+	link := network.Calibrate(netSim, gpu.MustLookupServer("V100x4-NVLink"))
+	plan := distributed.Plan{
+		Model: models.MustLookup("GPT2-Large"), GlobalBatch: 4,
+		Server: srv, Strategy: distributed.TensorParallel, Training: true,
+	}
+	predLat := func(k kernels.Kernel) float64 {
+		v, err := p.PredictKernel(k, srv.GPU)
+		if err != nil {
+			return core.MemBoundLatency(k, srv.GPU)
+		}
+		return v
+	}
+	simLat := func(k kernels.Kernel) float64 { return sim.KernelLatency(k, srv.GPU) }
+	meas, err := distributed.Estimate(plan, simLat, netSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := distributed.Estimate(plan, predLat, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.APE(pred.TotalMs, meas.TotalMs); e > 30 {
+		t.Fatalf("distributed error %.1f%%, want < 30%%", e)
+	}
+}
+
+// TestUpcomingGPUForecast: forecasting B200 — no ground truth, but physics
+// must hold: faster than H100 on a compute-bound workload, positive and
+// finite, and never above the roofline bound.
+func TestUpcomingGPUForecast(t *testing.T) {
+	p, _ := integPredictor(t)
+	b200 := gpu.MustLookup("B200")
+	h100 := gpu.MustLookup("H100")
+	gr := models.MustLookup("GPT3-XL").InferenceGraph(4)
+	fb, fh := p.PredictGraph(gr, b200), p.PredictGraph(gr, h100)
+	if fb <= 0 || math.IsNaN(fb) {
+		t.Fatalf("B200 forecast = %v", fb)
+	}
+	if fb >= fh {
+		t.Fatalf("B200 forecast %v should beat H100 %v", fb, fh)
+	}
+	// Physical floor: the roofline latency of the dominant GEMMs.
+	roofline := 0.0
+	for _, k := range gr.Kernels() {
+		if k.Category() == kernels.CatNetwork {
+			continue
+		}
+		fp16 := k.DType == kernels.FP16
+		c := k.FLOPs() / (b200.PeakFLOPSFor(fp16) * 1e12)
+		m := k.MemBytes() / (b200.MemoryBWGBs * 1e9)
+		roofline += math.Max(c, m) * 1e3
+	}
+	if fb < roofline {
+		t.Fatalf("B200 forecast %v beats the roofline bound %v — impossible", fb, roofline)
+	}
+}
+
+// TestDeterministicForecasts: the same seed yields byte-identical models.
+func TestDeterministicForecasts(t *testing.T) {
+	build := func() float64 {
+		sim := gpusim.New()
+		tdb := tile.NewDB()
+		ds := dataset.Generate(dataset.GenConfig{
+			Seed: 99, BMM: 60, FC: 30, EW: 20, Softmax: 10, LN: 10,
+			GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+		}, sim, tdb)
+		p := core.NewPredictor(core.Config{
+			Hidden: 24, Layers: 2, Epochs: 10, BatchSize: 128,
+			LR: 3e-3, Seed: 99,
+		}, tdb)
+		p.Train(ds)
+		v, err := p.PredictKernel(kernels.NewBMM(8, 512, 512, 512), gpu.MustLookup("T4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("non-deterministic training: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,78 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"neusight/internal/mat"
+)
+
+// TransposeOp returns aᵀ with gradient flowing back transposed.
+func TransposeOp(a *Value) *Value {
+	out := a.Data.T()
+	var res *Value
+	res = newResult(out, []*Value{a}, func() {
+		a.Grad.AddInPlace(res.Grad.T())
+	})
+	return res
+}
+
+// ConcatRows stacks same-width Values vertically.
+func ConcatRows(vs []*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: ConcatRows of nothing")
+	}
+	cols := vs[0].Data.Cols
+	rows := 0
+	for _, v := range vs {
+		if v.Data.Cols != cols {
+			panic(fmt.Sprintf("autodiff: ConcatRows width mismatch %d vs %d", v.Data.Cols, cols))
+		}
+		rows += v.Data.Rows
+	}
+	out := mat.New(rows, cols)
+	offsets := make([]int, len(vs))
+	r := 0
+	for i, v := range vs {
+		offsets[i] = r
+		copy(out.Data[r*cols:], v.Data.Data)
+		r += v.Data.Rows
+	}
+	parents := make([]*Value, len(vs))
+	copy(parents, vs)
+	var res *Value
+	res = newResult(out, parents, func() {
+		for i, v := range vs {
+			if !v.RequiresGrad() {
+				continue
+			}
+			start := offsets[i] * cols
+			for j := range v.Grad.Data {
+				v.Grad.Data[j] += res.Grad.Data[start+j]
+			}
+		}
+	})
+	return res
+}
+
+// SliceCols returns columns [lo, hi) of a as a new Value.
+func SliceCols(a *Value, lo, hi int) *Value {
+	if lo < 0 || hi > a.Data.Cols || lo >= hi {
+		panic(fmt.Sprintf("autodiff: SliceCols [%d, %d) of width %d", lo, hi, a.Data.Cols))
+	}
+	w := hi - lo
+	out := mat.New(a.Data.Rows, w)
+	for i := 0; i < a.Data.Rows; i++ {
+		copy(out.Row(i), a.Data.Row(i)[lo:hi])
+	}
+	var res *Value
+	res = newResult(out, []*Value{a}, func() {
+		for i := 0; i < a.Data.Rows; i++ {
+			gRow := a.Grad.Row(i)
+			oRow := res.Grad.Row(i)
+			for j := 0; j < w; j++ {
+				gRow[lo+j] += oRow[j]
+			}
+		}
+	})
+	return res
+}

@@ -1,0 +1,99 @@
+package autodiff
+
+import (
+	"testing"
+
+	"neusight/internal/mat"
+)
+
+func TestTransposeOpForwardBackward(t *testing.T) {
+	x := NewVariable(mat.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}))
+	y := TransposeOp(x)
+	if y.Data.Rows != 3 || y.Data.Cols != 2 || y.Data.At(2, 1) != 6 {
+		t.Fatalf("transpose = %v", y.Data)
+	}
+	// Weighted sum so the gradient is position-dependent.
+	w := NewConstant(mat.FromRows([][]float64{{1, 0}, {0, 2}, {3, 0}}))
+	Backward(SumAll(Mul(y, w)))
+	// dL/dx[i][j] = w[j][i].
+	want := mat.FromRows([][]float64{{1, 0, 3}, {0, 2, 0}})
+	if !mat.Equal(x.Grad, want, 0) {
+		t.Fatalf("grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestConcatRowsForwardBackward(t *testing.T) {
+	a := NewVariable(mat.FromRows([][]float64{{1, 2}}))
+	b := NewVariable(mat.FromRows([][]float64{{3, 4}, {5, 6}}))
+	y := ConcatRows([]*Value{a, b})
+	if y.Data.Rows != 3 || y.Data.At(2, 1) != 6 {
+		t.Fatalf("concat = %v", y.Data)
+	}
+	w := NewConstant(mat.FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}}))
+	Backward(SumAll(Mul(y, w)))
+	if a.Grad.At(0, 0) != 1 || b.Grad.At(0, 0) != 2 || b.Grad.At(1, 1) != 3 {
+		t.Fatalf("grads: a=%v b=%v", a.Grad, b.Grad)
+	}
+}
+
+func TestConcatRowsMixedGrad(t *testing.T) {
+	// Constants interleaved with variables must not receive gradients.
+	c := NewConstant(mat.FromRows([][]float64{{9, 9}}))
+	v := NewVariable(mat.FromRows([][]float64{{1, 1}}))
+	y := ConcatRows([]*Value{c, v})
+	Backward(SumAll(y))
+	if c.Grad != nil {
+		t.Fatal("constant got a gradient")
+	}
+	if v.Grad.At(0, 0) != 1 {
+		t.Fatalf("variable grad = %v", v.Grad)
+	}
+}
+
+func TestConcatRowsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty concat")
+		}
+	}()
+	ConcatRows(nil)
+}
+
+func TestConcatRowsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width mismatch")
+		}
+	}()
+	ConcatRows([]*Value{
+		NewConstant(mat.New(1, 2)),
+		NewConstant(mat.New(1, 3)),
+	})
+}
+
+func TestSliceColsForwardBackward(t *testing.T) {
+	x := NewVariable(mat.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}))
+	y := SliceCols(x, 1, 3)
+	if y.Data.Cols != 2 || y.Data.At(0, 0) != 2 || y.Data.At(1, 1) != 6 {
+		t.Fatalf("slice = %v", y.Data)
+	}
+	Backward(SumAll(y))
+	want := mat.FromRows([][]float64{{0, 1, 1}, {0, 1, 1}})
+	if !mat.Equal(x.Grad, want, 0) {
+		t.Fatalf("grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestSliceColsBoundsPanics(t *testing.T) {
+	x := NewConstant(mat.New(2, 3))
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for range %v", r)
+				}
+			}()
+			SliceCols(x, r[0], r[1])
+		}()
+	}
+}

@@ -1,0 +1,232 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	ad "neusight/internal/autodiff"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/loss"
+	"neusight/internal/mat"
+	"neusight/internal/nn"
+	"neusight/internal/opt"
+)
+
+// directFeatureCount is the input width of direct-regression predictors:
+// four kernel dimensions plus four public GPU features (the Habitat feature
+// set: memory size, memory bandwidth, number of SMs, peak FLOPS).
+const directFeatureCount = 8
+
+// directFeatures encodes (kernel, GPU) for direct latency regression.
+// Dimensions are log-compressed; this is the representation that still
+// fails to extrapolate because latency grows multiplicatively in the
+// dimensions while the regressor extrapolates additively.
+func directFeatures(k kernels.Kernel, g gpu.Spec) []float64 {
+	return []float64{
+		math.Log1p(float64(k.B)), math.Log1p(float64(k.M)),
+		math.Log1p(float64(k.K)), math.Log1p(float64(k.N)),
+		math.Log1p(g.MemoryGB), math.Log1p(g.MemoryBWGBs),
+		math.Log1p(float64(g.SMs)), math.Log1p(g.PeakFLOPS),
+	}
+}
+
+// directStats standardizes features column-wise.
+type directStats struct {
+	Mean, Std []float64
+}
+
+func fitDirectStats(rows [][]float64) directStats {
+	n := float64(len(rows))
+	st := directStats{Mean: make([]float64, directFeatureCount), Std: make([]float64, directFeatureCount)}
+	for _, r := range rows {
+		for j, v := range r {
+			st.Mean[j] += v
+		}
+	}
+	for j := range st.Mean {
+		st.Mean[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - st.Mean[j]
+			st.Std[j] += d * d
+		}
+	}
+	for j := range st.Std {
+		st.Std[j] = math.Sqrt(st.Std[j]/n) + 1e-8
+	}
+	return st
+}
+
+func (st directStats) apply(r []float64) []float64 {
+	out := make([]float64, len(r))
+	for j, v := range r {
+		out[j] = (v - st.Mean[j]) / st.Std[j]
+	}
+	return out
+}
+
+// DirectConfig sizes a direct-regression predictor.
+type DirectConfig struct {
+	Hidden    int
+	Layers    int
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+}
+
+// DefaultDirectConfig mirrors the "vanilla Habitat" setup at a size
+// tractable for pure-Go training.
+func DefaultDirectConfig() DirectConfig {
+	return DirectConfig{Hidden: 64, Layers: 4, Epochs: 60, BatchSize: 256, LR: 3e-3, Seed: 7}
+}
+
+// DirectMLP regresses log-latency directly from (kernel, GPU) features —
+// the modeling approach of Habitat's kernel-varying path and of the MLP
+// rows in Table 1. Log-space regression is what produces the exponential
+// blowups on out-of-distribution inputs that the paper reports.
+type DirectMLP struct {
+	cfg   DirectConfig
+	mlp   *nn.MLP
+	stats directStats
+}
+
+// NewDirectMLP returns an untrained direct regressor.
+func NewDirectMLP(cfg DirectConfig) *DirectMLP { return &DirectMLP{cfg: cfg} }
+
+// Train fits the regressor on the samples' measured latencies.
+func (d *DirectMLP) Train(samples []dataset.Sample) float64 {
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	d.mlp = nn.NewMLP(rng, nn.MLPConfig{
+		In: directFeatureCount, Hidden: d.cfg.Hidden, Out: 1,
+		Layers: d.cfg.Layers, Activation: nn.ActReLU,
+	})
+	var rows [][]float64
+	for _, s := range samples {
+		rows = append(rows, directFeatures(s.Kernel, s.GPU))
+	}
+	d.stats = fitDirectStats(rows)
+
+	X := mat.New(len(samples), directFeatureCount)
+	Y := mat.New(len(samples), 1)
+	for i, s := range samples {
+		copy(X.Row(i), d.stats.apply(rows[i]))
+		Y.Data[i] = math.Log(math.Max(s.Latency, 1e-9))
+	}
+	optim := opt.NewAdamW(d.mlp.Params(), opt.AdamWConfig{LR: d.cfg.LR})
+	n := len(samples)
+	bs := d.cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	var final float64
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		optim.SetLR(opt.CosineDecay(d.cfg.LR, d.cfg.LR/20, epoch, d.cfg.Epochs))
+		perm := rng.Perm(n)
+		total, batches := 0.0, 0
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			xb := mat.New(hi-lo, directFeatureCount)
+			yb := mat.New(hi-lo, 1)
+			for i := lo; i < hi; i++ {
+				copy(xb.Row(i-lo), X.Row(perm[i]))
+				yb.Data[i-lo] = Y.Data[perm[i]]
+			}
+			l := loss.MSE(d.mlp.Forward(ad.NewConstant(xb)), ad.NewConstant(yb))
+			ad.Backward(l)
+			optim.Step()
+			total += l.Data.Data[0]
+			batches++
+		}
+		final = total / float64(batches)
+	}
+	return final
+}
+
+// Predict returns the regressed latency for k on g in milliseconds.
+func (d *DirectMLP) Predict(k kernels.Kernel, g gpu.Spec) float64 {
+	f := d.stats.apply(directFeatures(k, g))
+	x := ad.NewConstant(mat.FromSlice(1, directFeatureCount, f))
+	return math.Exp(d.mlp.Forward(x).Data.Data[0])
+}
+
+// DirectTransformer is the Prime-style transformer regressor of Table 1:
+// feature tokens through encoder blocks to a scalar log-latency.
+type DirectTransformer struct {
+	cfg   DirectConfig
+	tcfg  nn.TransformerConfig
+	tr    *nn.Transformer
+	stats directStats
+}
+
+// NewDirectTransformer returns an untrained transformer regressor with the
+// given number of encoder layers.
+func NewDirectTransformer(cfg DirectConfig, layers int) *DirectTransformer {
+	return &DirectTransformer{
+		cfg: cfg,
+		tcfg: nn.TransformerConfig{
+			Features: directFeatureCount, DModel: 16, Heads: 4, Layers: layers, FFN: 32,
+		},
+	}
+}
+
+// Train fits the transformer on the samples' measured latencies.
+func (d *DirectTransformer) Train(samples []dataset.Sample) float64 {
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	d.tr = nn.NewTransformer(rng, d.tcfg)
+	var rows [][]float64
+	for _, s := range samples {
+		rows = append(rows, directFeatures(s.Kernel, s.GPU))
+	}
+	d.stats = fitDirectStats(rows)
+
+	X := mat.New(len(samples), directFeatureCount)
+	Y := mat.New(len(samples), 1)
+	for i, s := range samples {
+		copy(X.Row(i), d.stats.apply(rows[i]))
+		Y.Data[i] = math.Log(math.Max(s.Latency, 1e-9))
+	}
+	optim := opt.NewAdamW(d.tr.Params(), opt.AdamWConfig{LR: d.cfg.LR})
+	n := len(samples)
+	bs := d.cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	var final float64
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		total, batches := 0.0, 0
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			xb := mat.New(hi-lo, directFeatureCount)
+			yb := mat.New(hi-lo, 1)
+			for i := lo; i < hi; i++ {
+				copy(xb.Row(i-lo), X.Row(perm[i]))
+				yb.Data[i-lo] = Y.Data[perm[i]]
+			}
+			l := loss.MSE(d.tr.Forward(ad.NewConstant(xb)), ad.NewConstant(yb))
+			ad.Backward(l)
+			optim.Step()
+			total += l.Data.Data[0]
+			batches++
+		}
+		final = total / float64(batches)
+	}
+	return final
+}
+
+// Predict returns the regressed latency for k on g in milliseconds.
+func (d *DirectTransformer) Predict(k kernels.Kernel, g gpu.Spec) float64 {
+	f := d.stats.apply(directFeatures(k, g))
+	x := ad.NewConstant(mat.FromSlice(1, directFeatureCount, f))
+	return math.Exp(d.tr.Forward(x).Data.Data[0])
+}

@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"fmt"
+
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+)
+
+// Habitat reproduces the Habitat baseline (Yu et al.): operators are split
+// into kernel-varying ops — predicted by per-category MLPs regressing
+// latency directly — and kernel-alike ops — measured on a reference GPU in
+// hand and scaled by the hardware-feature ratio (here bandwidth, since the
+// scaled ops are memory-bound vector kernels). Section 6.1 of the paper
+// uses V100 as the reference device (P100 when predicting V100 itself).
+type Habitat struct {
+	cfg  DirectConfig
+	mlps map[kernels.Category]*DirectMLP
+
+	// RefGPU is the in-hand device used for kernel-alike scaling.
+	RefGPU gpu.Spec
+	// AltRefGPU replaces RefGPU when the target is RefGPU itself.
+	AltRefGPU gpu.Spec
+	sim       *gpusim.Simulator
+}
+
+// kernelVarying are the categories Habitat models with MLPs.
+var kernelVarying = map[kernels.Category]bool{
+	kernels.CatBMM:    true,
+	kernels.CatLinear: true,
+}
+
+// NewHabitat builds an untrained Habitat baseline measuring kernel-alike
+// references with sim.
+func NewHabitat(cfg DirectConfig, sim *gpusim.Simulator) *Habitat {
+	return &Habitat{
+		cfg:       cfg,
+		mlps:      map[kernels.Category]*DirectMLP{},
+		RefGPU:    gpu.MustLookup("V100"),
+		AltRefGPU: gpu.MustLookup("P100"),
+		sim:       sim,
+	}
+}
+
+// Name identifies the predictor in reports.
+func (h *Habitat) Name() string { return "Habitat" }
+
+// Train fits the kernel-varying MLPs on ds.
+func (h *Habitat) Train(ds *dataset.Dataset) {
+	for cat := range kernelVarying {
+		sub := ds.FilterCategory(cat)
+		if sub.Len() == 0 {
+			continue
+		}
+		m := NewDirectMLP(h.cfg)
+		m.Train(sub.Samples)
+		h.mlps[cat] = m
+	}
+}
+
+// PredictKernel forecasts latency in milliseconds following Habitat's
+// two-path design.
+func (h *Habitat) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	cat := k.Category()
+	if cat == kernels.CatNetwork {
+		return 0, fmt.Errorf("baselines: habitat does not model network kernels")
+	}
+	if kernelVarying[cat] {
+		m, ok := h.mlps[cat]
+		if !ok {
+			return 0, fmt.Errorf("baselines: habitat MLP for %v not trained", cat)
+		}
+		return m.Predict(k, g), nil
+	}
+	// Kernel-alike path: measure on the reference GPU, scale by the
+	// memory-bandwidth ratio (vector ops are bandwidth-bound).
+	ref := h.RefGPU
+	if g.Name == ref.Name {
+		ref = h.AltRefGPU
+	}
+	refLat := h.sim.KernelLatency(k, ref)
+	return refLat * (ref.MemoryBWGBs / g.MemoryBWGBs), nil
+}

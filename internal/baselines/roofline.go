@@ -1,0 +1,39 @@
+// Package baselines implements the three prior-work comparison points of
+// the paper's evaluation (Section 6.1):
+//
+//   - Roofline analysis: the classic analytical bound, latency =
+//     max(FLOPs/peak, bytes/bandwidth);
+//   - Habitat (Yu et al., ATC'21): per-operator MLPs regressing kernel
+//     latency directly from kernel dimensions and GPU spec features, with
+//     reference-GPU scaling for "kernel-alike" vector operators;
+//   - Li et al. (MICRO'23): per-GPU linear regression of latency on FLOP
+//     count, extrapolated to unseen GPUs through a memory-bandwidth to
+//     achieved-FLOPS regression.
+//
+// It also provides the direct-regression MLP and transformer predictors of
+// the "larger predictors" study (Table 1).
+package baselines
+
+import (
+	"math"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// Roofline is the analytical baseline: perfectly optimistic execution at
+// the device's peak compute or bandwidth, whichever binds.
+type Roofline struct{}
+
+// Name identifies the predictor in reports.
+func (Roofline) Name() string { return "Roofline" }
+
+// PredictKernel returns the roofline latency of k on g in milliseconds.
+func (Roofline) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	fp16 := k.DType == kernels.FP16
+	peak := g.PeakFLOPSFor(fp16) * 1e12
+	bw := g.MemoryBWGBs * 1e9
+	compute := k.FLOPs() / peak
+	memory := k.MemBytes() / bw
+	return math.Max(compute, memory) * 1e3, nil
+}

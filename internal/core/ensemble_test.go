@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+	"neusight/internal/tile"
+)
+
+func trainEnsemble(t *testing.T, size int) *Ensemble {
+	t.Helper()
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 61, BMM: 120, FC: 60, EW: 40, Softmax: 25, LN: 25,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	cfg := testConfig()
+	cfg.Epochs = 15
+	e := NewEnsemble(cfg, tdb, size)
+	e.Train(ds)
+	return e
+}
+
+func TestEnsembleSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty ensemble")
+		}
+	}()
+	NewEnsemble(testConfig(), tile.NewDB(), 0)
+}
+
+func TestEnsembleMeanAndSpread(t *testing.T) {
+	e := trainEnsemble(t, 3)
+	if e.Size() != 3 {
+		t.Fatalf("Size = %d", e.Size())
+	}
+	g := gpu.MustLookup("H100")
+	k := kernels.NewBMM(16, 768, 768, 768)
+	mean, std, err := e.PredictKernelWithSpread(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || math.IsNaN(mean) {
+		t.Fatalf("mean = %v", mean)
+	}
+	if std < 0 || std > mean {
+		t.Fatalf("spread %v implausible against mean %v", std, mean)
+	}
+	// Mean must equal the average of the members.
+	sum := 0.0
+	for _, m := range e.members {
+		p, err := m.PredictKernel(k, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if math.Abs(mean-sum/3) > 1e-9 {
+		t.Fatal("ensemble mean is not the member average")
+	}
+}
+
+func TestEnsembleAtLeastAsAccurateAsWorstMember(t *testing.T) {
+	e := trainEnsemble(t, 3)
+	sim := gpusim.New()
+	eval := dataset.Generate(dataset.GenConfig{
+		Seed: 62, BMM: 40, GPUs: gpu.TestSet(), MaxBMMDim: 1024,
+	}, sim, nil)
+	memberErr := make([]float64, e.Size())
+	var ensErr []float64
+	for _, s := range eval.Samples {
+		em, err := e.PredictKernel(s.Kernel, s.GPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ensErr = append(ensErr, metrics.APE(em, s.Latency))
+		for i, m := range e.members {
+			p, err := m.PredictKernel(s.Kernel, s.GPU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memberErr[i] += metrics.APE(p, s.Latency)
+		}
+	}
+	worst := 0.0
+	for _, me := range memberErr {
+		if v := me / float64(len(eval.Samples)); v > worst {
+			worst = v
+		}
+	}
+	if got := metrics.Mean(ensErr); got > worst+1e-9 {
+		t.Fatalf("ensemble error %.2f%% exceeds worst member %.2f%%", got, worst)
+	}
+}
+
+func TestEnsembleGraphSpread(t *testing.T) {
+	e := trainEnsemble(t, 3)
+	g := gpu.MustLookup("L4")
+	gr := graphOfThree()
+	mean, std := e.PredictGraphWithSpread(gr, g)
+	if mean <= 0 || std < 0 {
+		t.Fatalf("mean %v, std %v", mean, std)
+	}
+	// Independent seeds must actually disagree a little.
+	if std == 0 {
+		t.Fatal("zero spread across independently seeded members is suspicious")
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+
+	ad "neusight/internal/autodiff"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/loss"
+	"neusight/internal/mat"
+	"neusight/internal/nn"
+	"neusight/internal/opt"
+	"neusight/internal/tile"
+)
+
+// Config sizes the per-category utilization MLPs and their training run.
+// The paper trains 8x512 MLPs with AdamW for 100 epochs; the defaults here
+// are scaled to pure-Go training speed while keeping the architecture
+// family (stacked ReLU layers, two sigmoid-bounded heads).
+type Config struct {
+	Hidden      int
+	Layers      int
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	WeightDecay float64
+	Seed        int64
+}
+
+// DefaultConfig returns the standard training configuration.
+func DefaultConfig() Config {
+	return Config{Hidden: 64, Layers: 3, Epochs: 60, BatchSize: 256, LR: 3e-3, WeightDecay: 1e-4, Seed: 42}
+}
+
+// Predictor is a trained NeuSight instance: one utilization MLP per
+// operator category plus the tile database recorded during profiling.
+type Predictor struct {
+	Cfg    Config
+	TileDB *tile.DB
+
+	mlps  map[kernels.Category]*nn.MLP
+	stats map[kernels.Category]*featureStats
+
+	mu        sync.Mutex
+	tileCache map[string]tile.Tile
+}
+
+// NewPredictor returns an untrained predictor that resolves tiles via tdb.
+func NewPredictor(cfg Config, tdb *tile.DB) *Predictor {
+	if tdb == nil {
+		tdb = tile.NewDB()
+	}
+	return &Predictor{
+		Cfg: cfg, TileDB: tdb,
+		mlps:      map[kernels.Category]*nn.MLP{},
+		stats:     map[kernels.Category]*featureStats{},
+		tileCache: map[string]tile.Tile{},
+	}
+}
+
+// tileFor resolves the tile for k on g through a small cache: DNN graphs
+// repeat identical kernels across layers, and the nearest-match database
+// scan is the expensive step of a prediction.
+func (p *Predictor) tileFor(k kernels.Kernel, g gpu.Spec) tile.Tile {
+	key := k.Label() + "@" + g.Name
+	p.mu.Lock()
+	t, ok := p.tileCache[key]
+	p.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = p.TileDB.LookupOrSelect(k, g)
+	p.mu.Lock()
+	p.tileCache[key] = t
+	p.mu.Unlock()
+	return t
+}
+
+// Name implements the predictor naming convention used by the harness.
+func (p *Predictor) Name() string { return "NeuSight" }
+
+// TrainReport records the final training loss per category.
+type TrainReport struct {
+	FinalLoss map[kernels.Category]float64
+	Samples   map[kernels.Category]int
+}
+
+// Train fits one MLP per category present in ds and returns a report.
+func (p *Predictor) Train(ds *dataset.Dataset) TrainReport {
+	rep := TrainReport{
+		FinalLoss: map[kernels.Category]float64{},
+		Samples:   map[kernels.Category]int{},
+	}
+	for _, cat := range trainedCats {
+		sub := ds.FilterCategory(cat)
+		if sub.Len() == 0 {
+			continue
+		}
+		l := p.TrainCategory(cat, sub)
+		rep.FinalLoss[cat] = l
+		rep.Samples[cat] = sub.Len()
+	}
+	return rep
+}
+
+// TrainCategory fits the MLP for one operator category and returns the
+// final epoch's mean SMAPE loss.
+func (p *Predictor) TrainCategory(cat kernels.Category, ds *dataset.Dataset) float64 {
+	rng := rand.New(rand.NewSource(p.Cfg.Seed + int64(cat)))
+	mlp := nn.NewMLP(rng, nn.MLPConfig{
+		In: NumFeatures, Hidden: p.Cfg.Hidden, Out: 2,
+		Layers: p.Cfg.Layers, Activation: nn.ActReLU,
+	})
+
+	rawX, _, _, _ := sampleTensors(ds.Samples, p.TileDB, nil)
+	st := fitStats(rawX)
+	X, c, w, y := sampleTensors(ds.Samples, p.TileDB, &st)
+
+	optim := opt.NewAdamW(mlp.Params(), opt.AdamWConfig{LR: p.Cfg.LR, WeightDecay: p.Cfg.WeightDecay})
+	n := len(X)
+	bs := p.Cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	var final float64
+	for epoch := 0; epoch < p.Cfg.Epochs; epoch++ {
+		optim.SetLR(opt.CosineDecay(p.Cfg.LR, p.Cfg.LR/20, epoch, p.Cfg.Epochs))
+		perm := rng.Perm(n)
+		total, batches := 0.0, 0
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			xb := mat.New(hi-lo, NumFeatures)
+			cb := mat.New(hi-lo, 1)
+			wb := mat.New(hi-lo, 1)
+			yb := mat.New(hi-lo, 1)
+			for i := lo; i < hi; i++ {
+				j := perm[i]
+				copy(xb.Row(i-lo), X[j])
+				cb.Data[i-lo] = c[j][0]
+				wb.Data[i-lo] = w[j][0]
+				yb.Data[i-lo] = y[j][0]
+			}
+			pred := predictExpr(mlp, ad.NewConstant(xb), ad.NewConstant(cb), ad.NewConstant(wb))
+			l := loss.SMAPE(pred, ad.NewConstant(yb))
+			ad.Backward(l)
+			optim.Step()
+			total += l.Data.Data[0]
+			batches++
+		}
+		final = total / float64(batches)
+	}
+	p.mlps[cat] = mlp
+	p.stats[cat] = &st
+	return final
+}
+
+// predictExpr builds the differentiable latency expression: c / util with
+// util from the MLP heads (Eq. 5-8 composed).
+func predictExpr(mlp *nn.MLP, X, c, w *ad.Value) *ad.Value {
+	heads := mlp.Forward(X)
+	util := utilFromHeads(heads, w)
+	return ad.Div(c, util)
+}
+
+// PredictKernel forecasts the latency of kernel k on device g in
+// milliseconds. Kernels in the five trained categories go through the
+// tile/utilization pipeline; anything else uses the memory-bound fallback
+// (paper Section 4.3). Network kernels are rejected — the network model
+// owns them.
+func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	cat := k.Category()
+	if cat == kernels.CatNetwork {
+		return 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
+	}
+	mlp, ok := p.mlps[cat]
+	if !ok {
+		if cat == kernels.CatMemoryBound {
+			return MemBoundLatency(k, g), nil
+		}
+		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
+	}
+	t := p.tileFor(k, g)
+	c, waves := latencyConstant(k, g, t)
+	f := p.stats[cat].apply(Features(k, g, t, waves))
+
+	x := ad.NewConstant(mat.FromSlice(1, NumFeatures, f))
+	cv := ad.NewConstant(mat.FromSlice(1, 1, []float64{c}))
+	wv := ad.NewConstant(mat.FromSlice(1, 1, []float64{float64(waves)}))
+	return predictExpr(mlp, x, cv, wv).Data.Data[0], nil
+}
+
+// Utilization returns the bounded utilization the predictor assigns to k on
+// g — useful for introspection and the Table 2 style analyses.
+func (p *Predictor) Utilization(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	cat := k.Category()
+	mlp, ok := p.mlps[cat]
+	if !ok {
+		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
+	}
+	t := p.tileFor(k, g)
+	_, waves := latencyConstant(k, g, t)
+	f := p.stats[cat].apply(Features(k, g, t, waves))
+	x := ad.NewConstant(mat.FromSlice(1, NumFeatures, f))
+	wv := ad.NewConstant(mat.FromSlice(1, 1, []float64{float64(waves)}))
+	return utilFromHeads(mlp.Forward(x), wv).Data.Data[0], nil
+}
+
+// PredictGraph forecasts the end-to-end latency of a kernel graph on g by
+// sequential aggregation (Section 5). Kernels that fail to predict
+// contribute their memory-bound fallback rather than aborting the forecast.
+func (p *Predictor) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
+	return gr.Latency(func(k kernels.Kernel) float64 {
+		if k.Category() == kernels.CatNetwork {
+			return 0 // network ops are priced by the distributed layer
+		}
+		l, err := p.PredictKernel(k, g)
+		if err != nil {
+			return MemBoundLatency(k, g)
+		}
+		return l
+	})
+}
+
+// TrainedCategories lists the categories with fitted MLPs, sorted.
+func (p *Predictor) TrainedCategories() []kernels.Category {
+	var cats []kernels.Category
+	for c := range p.mlps {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
+}
+
+// predictorState is the serialized form of a trained predictor.
+type predictorState struct {
+	Cfg   Config                  `json:"cfg"`
+	MLPs  map[string]*nn.MLP      `json:"mlps"`
+	Stats map[string]featureStats `json:"stats"`
+}
+
+// Save writes the trained predictor (MLPs + normalization) as JSON. The
+// tile database is saved separately via its own Save.
+func (p *Predictor) Save(path string) error {
+	st := predictorState{Cfg: p.Cfg, MLPs: map[string]*nn.MLP{}, Stats: map[string]featureStats{}}
+	for cat, m := range p.mlps {
+		st.MLPs[cat.String()] = m
+		st.Stats[cat.String()] = *p.stats[cat]
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load restores a predictor saved by Save, attaching tdb for tile lookups.
+func Load(path string, tdb *tile.DB) (*Predictor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st predictorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	p := NewPredictor(st.Cfg, tdb)
+	for _, cat := range trainedCats {
+		if m, ok := st.MLPs[cat.String()]; ok {
+			p.mlps[cat] = m
+			s := st.Stats[cat.String()]
+			p.stats[cat] = &s
+		}
+	}
+	return p, nil
+}

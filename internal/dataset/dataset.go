@@ -1,0 +1,262 @@
+// Package dataset generates and manages the predictor training data,
+// standing in for the paper's measurement campaign (Section 6.1): operator
+// configurations sampled over the published ranges, "measured" on the
+// training-set GPUs via the execution simulator, with the library-chosen
+// tile recorded into the tile database exactly as the paper records
+// PyTorch-Profiler metadata.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/tile"
+)
+
+// Sample is one measured operator execution.
+type Sample struct {
+	Kernel  kernels.Kernel
+	GPU     gpu.Spec
+	Tile    tile.Tile
+	Latency float64 // measured latency, ms
+}
+
+// Dataset is an ordered collection of samples.
+type Dataset struct {
+	Samples []Sample
+}
+
+// GenConfig sizes the generation run. Counts are operator configurations;
+// each configuration is measured on every GPU in GPUs. The paper's ranges
+// are hard-coded per category; counts here default (via DefaultGenConfig)
+// to a scale where pure-Go MLP training stays fast while covering the same
+// distributions.
+type GenConfig struct {
+	Seed      int64
+	BMM       int
+	FC        int
+	EW        int
+	Softmax   int
+	LN        int
+	GPUs      []gpu.Spec
+	MaxBMMDim int // upper bound for BMM dims (paper: 1024 in training)
+}
+
+// DefaultGenConfig returns the standard training-set generation: the five
+// training GPUs, BMM dims capped at 1024, and per-category counts scaled
+// ~20x down from the paper's 150k-point campaign.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed: seed, BMM: 900, FC: 450, EW: 350, Softmax: 180, LN: 180,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}
+}
+
+// ewOps are the elementwise operators the paper profiles.
+var ewOps = []kernels.Op{
+	kernels.OpEWAdd, kernels.OpEWDiv, kernels.OpEWMul,
+	kernels.OpEWGELU, kernels.OpEWReLU, kernels.OpEWTanh,
+}
+
+// Generate samples operator configurations, measures them on every
+// configured GPU with sim, and records tiles into tdb (which may be nil).
+func Generate(cfg GenConfig, sim *gpusim.Simulator, tdb *tile.DB) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MaxBMMDim == 0 {
+		cfg.MaxBMMDim = 1024
+	}
+	var ks []kernels.Kernel
+	for i := 0; i < cfg.BMM; i++ {
+		ks = append(ks, kernels.NewBMM(
+			logUniform(rng, 1, 1024), logUniform(rng, 1, cfg.MaxBMMDim),
+			logUniform(rng, 1, cfg.MaxBMMDim), logUniform(rng, 1, cfg.MaxBMMDim)))
+	}
+	for i := 0; i < cfg.FC; i++ {
+		ks = append(ks, kernels.NewLinear(
+			logUniform(rng, 1, 8192), logUniform(rng, 1, 65536), logUniform(rng, 1, 65536)))
+	}
+	for i := 0; i < cfg.EW; i++ {
+		op := ewOps[rng.Intn(len(ewOps))]
+		ks = append(ks, kernels.NewElementwise(op, logUniform(rng, 512, 16384), logUniform(rng, 512, 4096)))
+	}
+	for i := 0; i < cfg.Softmax; i++ {
+		ks = append(ks, kernels.NewSoftmax(logUniform(rng, 4096, 16384), logUniform(rng, 512, 4096)))
+	}
+	for i := 0; i < cfg.LN; i++ {
+		ks = append(ks, kernels.NewLayerNorm(logUniform(rng, 4096, 16384), logUniform(rng, 512, 4096)))
+	}
+
+	d := &Dataset{}
+	for _, k := range ks {
+		for _, g := range cfg.GPUs {
+			t := tile.Select(k, g)
+			if tdb != nil {
+				tdb.Add(k, g, t)
+			}
+			d.Samples = append(d.Samples, Sample{
+				Kernel: k, GPU: g, Tile: t,
+				Latency: sim.KernelLatency(k, g),
+			})
+		}
+	}
+	return d
+}
+
+// logUniform draws an integer in [lo, hi] log-uniformly, matching the
+// paper's coverage of several orders of magnitude per dimension.
+func logUniform(rng *rand.Rand, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	v := math.Exp(rng.Float64()*(math.Log(float64(hi))-math.Log(float64(lo))) + math.Log(float64(lo)))
+	n := int(math.Round(v))
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n
+}
+
+// FilterCategory returns the samples whose kernel routes to cat.
+func (d *Dataset) FilterCategory(cat kernels.Category) *Dataset {
+	out := &Dataset{}
+	for _, s := range d.Samples {
+		if s.Kernel.Category() == cat {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// Split shuffles deterministically and partitions into train and validation
+// sets, validation receiving valFrac of the samples (paper: 20%).
+func (d *Dataset) Split(valFrac float64, seed int64) (train, val *Dataset) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(d.Samples))
+	nVal := int(float64(len(d.Samples)) * valFrac)
+	train, val = &Dataset{}, &Dataset{}
+	for i, j := range idx {
+		if i < nVal {
+			val.Samples = append(val.Samples, d.Samples[j])
+		} else {
+			train.Samples = append(train.Samples, d.Samples[j])
+		}
+	}
+	return train, val
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// SaveCSV writes the dataset in a stable column layout.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"op", "b", "m", "k", "n", "dtype", "gpu", "tile", "latency_ms"}); err != nil {
+		return err
+	}
+	for _, s := range d.Samples {
+		tileStr := ""
+		for i, t := range s.Tile.Dims {
+			if i > 0 {
+				tileStr += "x"
+			}
+			tileStr += strconv.Itoa(t)
+		}
+		rec := []string{
+			strconv.Itoa(int(s.Kernel.Op)),
+			strconv.Itoa(s.Kernel.B), strconv.Itoa(s.Kernel.M),
+			strconv.Itoa(s.Kernel.K), strconv.Itoa(s.Kernel.N),
+			strconv.Itoa(int(s.Kernel.DType)),
+			s.GPU.Name, tileStr,
+			strconv.FormatFloat(s.Latency, 'g', -1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCSV reads a dataset written by SaveCSV.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty file %s", path)
+	}
+	d := &Dataset{}
+	for _, row := range rows[1:] {
+		if len(row) != 9 {
+			return nil, fmt.Errorf("dataset: malformed row %v", row)
+		}
+		ints := make([]int, 6)
+		for i := 0; i < 6; i++ {
+			ints[i], err = strconv.Atoi(row[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad int in row %v: %w", row, err)
+			}
+		}
+		g, err := gpu.Lookup(row[6])
+		if err != nil {
+			return nil, err
+		}
+		var tl tile.Tile
+		for _, part := range splitX(row[7]) {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad tile %q: %w", row[7], err)
+			}
+			tl.Dims = append(tl.Dims, v)
+		}
+		lat, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad latency %q: %w", row[8], err)
+		}
+		d.Samples = append(d.Samples, Sample{
+			Kernel: kernels.Kernel{
+				Op: kernels.Op(ints[0]), B: ints[1], M: ints[2], K: ints[3], N: ints[4],
+				DType: kernels.DType(ints[5]),
+			},
+			GPU: g, Tile: tl, Latency: lat,
+		})
+	}
+	return d, nil
+}
+
+func splitX(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == 'x' {
+			out = append(out, cur)
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

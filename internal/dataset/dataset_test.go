@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/tile"
+)
+
+func smallGen(seed int64) GenConfig {
+	return GenConfig{
+		Seed: seed, BMM: 20, FC: 10, EW: 10, Softmax: 5, LN: 5,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}
+}
+
+func TestGenerateCountsAndCoverage(t *testing.T) {
+	tdb := tile.NewDB()
+	d := Generate(smallGen(1), gpusim.New(), tdb)
+	wantConfigs := 20 + 10 + 10 + 5 + 5
+	if d.Len() != wantConfigs*5 {
+		t.Fatalf("samples = %d, want %d (configs x 5 GPUs)", d.Len(), wantConfigs*5)
+	}
+	if tdb.Len() != d.Len() {
+		t.Fatalf("tile DB records = %d, want %d", tdb.Len(), d.Len())
+	}
+	cats := map[kernels.Category]int{}
+	gpus := map[string]bool{}
+	for _, s := range d.Samples {
+		cats[s.Kernel.Category()]++
+		gpus[s.GPU.Name] = true
+		if s.Latency <= 0 {
+			t.Fatalf("non-positive latency in sample %+v", s)
+		}
+	}
+	for _, c := range []kernels.Category{kernels.CatBMM, kernels.CatLinear, kernels.CatElementwise, kernels.CatSoftmax, kernels.CatLayerNorm} {
+		if cats[c] == 0 {
+			t.Fatalf("category %v missing from dataset", c)
+		}
+	}
+	if len(gpus) != 5 {
+		t.Fatalf("GPU coverage = %d, want all 5 training GPUs", len(gpus))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallGen(7), gpusim.New(), nil)
+	b := Generate(smallGen(7), gpusim.New(), nil)
+	if a.Len() != b.Len() {
+		t.Fatal("determinism violated: different lengths")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Kernel.Label() != b.Samples[i].Kernel.Label() ||
+			a.Samples[i].Latency != b.Samples[i].Latency {
+			t.Fatalf("determinism violated at sample %d", i)
+		}
+	}
+}
+
+func TestGenerateRespectsRanges(t *testing.T) {
+	d := Generate(smallGen(2), gpusim.New(), nil)
+	for _, s := range d.Samples {
+		k := s.Kernel
+		switch k.Category() {
+		case kernels.CatBMM:
+			if k.M > 1024 || k.K > 1024 || k.N > 1024 || k.B > 1024 {
+				t.Fatalf("BMM sample exceeds training range: %+v", k)
+			}
+		case kernels.CatElementwise:
+			if k.B < 512 || k.B > 16384 || k.M < 512 || k.M > 4096 {
+				t.Fatalf("EW sample outside paper range: %+v", k)
+			}
+		case kernels.CatSoftmax, kernels.CatLayerNorm:
+			if k.B < 4096 || k.B > 16384 {
+				t.Fatalf("reduction sample outside paper range: %+v", k)
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Generate(smallGen(3), gpusim.New(), nil)
+	train, val := d.Split(0.2, 9)
+	if train.Len()+val.Len() != d.Len() {
+		t.Fatal("split lost samples")
+	}
+	wantVal := int(float64(d.Len()) * 0.2)
+	if val.Len() != wantVal {
+		t.Fatalf("val size = %d, want %d", val.Len(), wantVal)
+	}
+	// Same seed reproduces the same split.
+	t2, _ := d.Split(0.2, 9)
+	if t2.Samples[0].Kernel.Label() != train.Samples[0].Kernel.Label() {
+		t.Fatal("split not deterministic")
+	}
+}
+
+func TestFilterCategory(t *testing.T) {
+	d := Generate(smallGen(4), gpusim.New(), nil)
+	bmm := d.FilterCategory(kernels.CatBMM)
+	if bmm.Len() != 20*5 {
+		t.Fatalf("BMM filter = %d, want 100", bmm.Len())
+	}
+	for _, s := range bmm.Samples {
+		if s.Kernel.Category() != kernels.CatBMM {
+			t.Fatal("filter leaked other categories")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Generate(smallGen(5), gpusim.New(), nil)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("reloaded %d samples, want %d", back.Len(), d.Len())
+	}
+	for i := range d.Samples {
+		a, b := d.Samples[i], back.Samples[i]
+		if a.Kernel.Label() != b.Kernel.Label() || a.GPU.Name != b.GPU.Name || a.Latency != b.Latency {
+			t.Fatalf("sample %d mismatch after round trip:\n%+v\n%+v", i, a, b)
+		}
+		if len(a.Tile.Dims) != len(b.Tile.Dims) {
+			t.Fatalf("tile rank mismatch at %d", i)
+		}
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// Property: logUniform stays within bounds and covers both ends.
+func TestLogUniformProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := 1 + rng.Intn(100)
+		hi := lo + rng.Intn(10000)
+		for i := 0; i < 50; i++ {
+			v := logUniform(rng, lo, hi)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Coverage: across many draws from [1, 1024] we should see small,
+	// medium, and large values.
+	rng := rand.New(rand.NewSource(11))
+	var small, large bool
+	for i := 0; i < 500; i++ {
+		v := logUniform(rng, 1, 1024)
+		if v <= 8 {
+			small = true
+		}
+		if v >= 512 {
+			large = true
+		}
+	}
+	if !small || !large {
+		t.Fatal("logUniform does not cover the range ends")
+	}
+}

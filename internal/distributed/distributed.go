@@ -1,0 +1,173 @@
+// Package distributed forecasts multi-GPU server execution (paper
+// Section 5.1): it applies a parallelization strategy to a workload,
+// derives each GPU's compute graph and the network operators the strategy
+// requires, and stitches per-kernel latencies together with collective
+// latencies from a link model.
+//
+//   - Data parallel: the batch splits across GPUs; training adds a ring
+//     all-reduce over the gradients.
+//   - Tensor model parallel (Megatron): attention and FFN GEMMs shard
+//     across GPUs; each layer all-reduces activations twice in the forward
+//     pass and twice more in the backward pass.
+//   - Pipeline parallel (GPipe): layers split into stages; micro-batches
+//     flow through with (m + s - 1) pipeline slots per phase and
+//     activations crossing stage boundaries via send/recv.
+package distributed
+
+import (
+	"fmt"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+)
+
+// Strategy selects the parallelization scheme.
+type Strategy int
+
+// Supported strategies (paper Table 8 evaluates each individually).
+const (
+	DataParallel Strategy = iota
+	TensorParallel
+	PipelineParallel
+)
+
+// String names the strategy as in the paper's tables.
+func (s Strategy) String() string {
+	switch s {
+	case DataParallel:
+		return "Data Parallel"
+	case TensorParallel:
+		return "Tensor Parallel"
+	case PipelineParallel:
+		return "Pipeline Parallel"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// LinkModel prices intra-server collectives. Both the measurement-side
+// network simulator and the calibrated prediction model satisfy it.
+type LinkModel interface {
+	AllReduceMs(bytes float64, srv gpu.ServerSpec) float64
+	SendRecvMs(bytes float64, srv gpu.ServerSpec) float64
+}
+
+// Plan is one distributed execution to forecast.
+type Plan struct {
+	Model       models.Config
+	GlobalBatch int
+	Server      gpu.ServerSpec
+	Strategy    Strategy
+	Training    bool
+	// MicroBatches is the micro-batch count for pipeline parallelism
+	// (paper Table 8 uses a single micro-batch). Defaults to 1.
+	MicroBatches int
+	// Schedule selects the pipeline schedule; the zero value is GPipe
+	// (the paper's default, Section 5.1).
+	Schedule PipelineSchedule
+}
+
+// Forecast is the predicted breakdown of one plan.
+type Forecast struct {
+	TotalMs   float64
+	ComputeMs float64
+	NetworkMs float64
+}
+
+// Estimate forecasts the iteration latency of plan p, pricing compute
+// kernels with kernelLat (milliseconds) and collectives with link.
+func Estimate(p Plan, kernelLat func(kernels.Kernel) float64, link LinkModel) (Forecast, error) {
+	if p.GlobalBatch <= 0 {
+		return Forecast{}, fmt.Errorf("distributed: global batch must be positive")
+	}
+	n := p.Server.NumGPUs
+	if n < 2 {
+		return Forecast{}, fmt.Errorf("distributed: server %q has %d GPUs; need at least 2", p.Server.Name, n)
+	}
+	switch p.Strategy {
+	case DataParallel:
+		return estimateDP(p, kernelLat, link)
+	case TensorParallel:
+		return estimateTP(p, kernelLat, link)
+	case PipelineParallel:
+		return estimatePP(p, kernelLat, link)
+	default:
+		return Forecast{}, fmt.Errorf("distributed: unknown strategy %v", p.Strategy)
+	}
+}
+
+// estimateDP: each GPU runs globalBatch/n; training all-reduces gradients.
+func estimateDP(p Plan, kernelLat func(kernels.Kernel) float64, link LinkModel) (Forecast, error) {
+	n := p.Server.NumGPUs
+	perGPU := p.GlobalBatch / n
+	if perGPU < 1 {
+		return Forecast{}, fmt.Errorf("distributed: global batch %d below data-parallel width %d", p.GlobalBatch, n)
+	}
+	gr := p.Model.InferenceGraph(perGPU)
+	if p.Training {
+		gr = p.Model.TrainingGraph(perGPU)
+	}
+	compute := gr.Latency(kernelLat)
+	net := 0.0
+	if p.Training {
+		gradBytes := p.Model.NumParams() * 4
+		net = link.AllReduceMs(gradBytes, p.Server)
+	}
+	return Forecast{TotalMs: compute + net, ComputeMs: compute, NetworkMs: net}, nil
+}
+
+// estimateTP: Megatron sharding; 2 activation all-reduces per layer per
+// pass direction.
+func estimateTP(p Plan, kernelLat func(kernels.Kernel) float64, link LinkModel) (Forecast, error) {
+	n := p.Server.NumGPUs
+	gr := p.Model.TPInferenceGraph(p.GlobalBatch, n)
+	passes := 2 // forward all-reduces per layer
+	if p.Training {
+		gr = p.Model.TPTrainingGraph(p.GlobalBatch, n)
+		passes = 4 // backward adds two more per layer
+	}
+	compute := gr.Latency(kernelLat)
+	actBytes := float64(p.GlobalBatch*p.Model.SeqLen*p.Model.Hidden) * 4
+	net := float64(p.Model.Layers*passes) * link.AllReduceMs(actBytes, p.Server)
+	return Forecast{TotalMs: compute + net, ComputeMs: compute, NetworkMs: net}, nil
+}
+
+// estimatePP: GPipe schedule over n stages with m micro-batches. Stage
+// compute time approximates as the full-model latency at micro-batch size
+// divided by the stage count (layers split evenly); the pipeline occupies
+// (m + n - 1) slots per phase (the "bubble" of paper Section 5.1), and
+// activations cross each stage boundary once per micro-batch per direction.
+func estimatePP(p Plan, kernelLat func(kernels.Kernel) float64, link LinkModel) (Forecast, error) {
+	n := p.Server.NumGPUs
+	m := p.MicroBatches
+	if m < 1 {
+		m = 1
+	}
+	micro := p.GlobalBatch / m
+	if micro < 1 {
+		return Forecast{}, fmt.Errorf("distributed: global batch %d below micro-batch count %d", p.GlobalBatch, m)
+	}
+	fwd := p.Model.InferenceGraph(micro).Latency(kernelLat)
+	bwd := 0.0
+	if p.Training {
+		bwd = p.Model.TrainingGraph(micro).Latency(kernelLat) - fwd
+	}
+	stageFwd := fwd / float64(n)
+	stageBwd := bwd / float64(n)
+	compute, err := pipelineSlots(p.Schedule, m, n, stageFwd, stageBwd)
+	if err != nil {
+		return Forecast{}, err
+	}
+
+	actBytes := float64(micro*p.Model.SeqLen*p.Model.Hidden) * 4
+	send := link.SendRecvMs(actBytes, p.Server)
+	// Critical path crosses each of the n-1 boundaries once per phase per
+	// micro-batch slot on the schedule's skew.
+	directions := 1.0
+	if p.Training {
+		directions = 2
+	}
+	net := directions * float64(n-1) * float64(m) * send
+	return Forecast{TotalMs: compute + net, ComputeMs: compute, NetworkMs: net}, nil
+}

@@ -1,0 +1,53 @@
+package distributed
+
+import (
+	"fmt"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+	"neusight/internal/network"
+)
+
+// MultiNodePlan is the Table 9 configuration: tensor model parallelism
+// across the GPUs of each node, data parallelism across nodes, gradients
+// all-reduced over a hierarchical fat-tree.
+type MultiNodePlan struct {
+	Model        models.Config
+	Nodes        int
+	Server       gpu.ServerSpec // one node (e.g. 8x H100 DGX)
+	PerNodeBatch int
+	Tree         network.Hierarchy
+	// DType is the training precision; GPT-3-scale clusters run mixed
+	// precision (FP16 tensors on tensor cores), which is also what keeps
+	// the gradient all-reduce volume at half the FP32 size.
+	DType kernels.DType
+}
+
+// EstimateMultiNode forecasts one training iteration of plan across the
+// cluster: per-GPU TP-sharded compute, intra-node activation all-reduces
+// over the server fabric, and an inter-node gradient all-reduce over the
+// fat-tree (the paper's NeuSight + analytical-network composition).
+func EstimateMultiNode(p MultiNodePlan, kernelLat func(kernels.Kernel) float64, link LinkModel) (Forecast, error) {
+	if p.Nodes < 1 {
+		return Forecast{}, fmt.Errorf("distributed: need at least one node")
+	}
+	tp := p.Server.NumGPUs
+	gr := p.Model.TPTrainingGraph(p.PerNodeBatch, tp).WithDType(p.DType)
+	compute := gr.Latency(kernelLat)
+
+	elem := p.DType.Bytes()
+	// Intra-node Megatron all-reduces: 4 per layer per iteration.
+	actBytes := float64(p.PerNodeBatch*p.Model.SeqLen*p.Model.Hidden) * elem
+	intra := float64(p.Model.Layers*4) * link.AllReduceMs(actBytes, p.Server)
+
+	// Inter-node data-parallel gradient all-reduce: each TP rank holds a
+	// 1/tp shard of the parameters; ranks ring across nodes in parallel.
+	inter := 0.0
+	if p.Nodes > 1 {
+		gradBytes := p.Model.NumParams() / float64(tp) * elem
+		inter = p.Tree.AllReduceMs(gradBytes, p.Nodes)
+	}
+	net := intra + inter
+	return Forecast{TotalMs: compute + net, ComputeMs: compute, NetworkMs: net}, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+	"neusight/internal/tile"
+)
+
+// Ablation quantifies NeuSight's design choices (DESIGN.md inventory) by
+// knocking each out and measuring kernel-level error on the held-out GPUs:
+//
+//   - "NeuSight (full)":   the trained predictor with its tile database;
+//   - "Heuristic tiles":   same MLPs, but tiles resolved by the library
+//     heuristic instead of profiled nearest-match records;
+//   - "Fixed util":        the wave/roofline pipeline with a constant 70%
+//     utilization instead of the learned law (what remains
+//     if you remove the MLP);
+//   - "Roofline (util=1)": the pure performance-law bound.
+//
+// This is not a paper artifact; it supports the paper's argument that the
+// learned utilization is the load-bearing component.
+func Ablation(lab *Lab) *Table {
+	t := &Table{
+		ID:      "ablation",
+		Title:   "Design ablation: kernel-level percentage error on held-out GPUs",
+		Columns: []string{"Variant", "BMM", "FC", "EW", "Softmax", "LN", "All"},
+	}
+	eval := dataset.Generate(dataset.GenConfig{
+		Seed: lab.Cfg.Seed + 77,
+		BMM:  scaled(lab, 120), FC: scaled(lab, 60), EW: scaled(lab, 40),
+		Softmax: scaled(lab, 25), LN: scaled(lab, 25),
+		GPUs: gpu.TestSet(), MaxBMMDim: 2048,
+	}, lab.Sim, nil)
+
+	// Heuristic-tile variant: same weights, empty tile database.
+	heuristic := clonePredictorWithEmptyDB(lab)
+
+	variants := []struct {
+		name    string
+		predict func(kernels.Kernel, gpu.Spec) (float64, bool)
+	}{
+		{"NeuSight (full)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
+			v, err := lab.NeuSight.PredictKernel(k, g)
+			return v, err == nil
+		}},
+		{"Heuristic tiles", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
+			v, err := heuristic.PredictKernel(k, g)
+			return v, err == nil
+		}},
+		{"Fixed util (70%)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
+			return fixedUtilLatency(k, g, 0.70), true
+		}},
+		{"Roofline (util=1)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
+			return fixedUtilLatency(k, g, 1.0), true
+		}},
+	}
+
+	catOrder := []kernels.Category{
+		kernels.CatBMM, kernels.CatLinear, kernels.CatElementwise,
+		kernels.CatSoftmax, kernels.CatLayerNorm,
+	}
+	for _, v := range variants {
+		byCat := map[kernels.Category][]float64{}
+		var all []float64
+		for _, s := range eval.Samples {
+			pred, ok := v.predict(s.Kernel, s.GPU)
+			if !ok {
+				continue
+			}
+			e := metrics.APE(pred, s.Latency)
+			byCat[s.Kernel.Category()] = append(byCat[s.Kernel.Category()], e)
+			all = append(all, e)
+		}
+		row := []string{v.name}
+		for _, c := range catOrder {
+			row = append(row, pct(metrics.Mean(byCat[c])))
+		}
+		row = append(row, pct(metrics.Mean(all)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fixedUtilLatency runs the tile/wave/roofline pipeline with a constant
+// utilization — the predictor with its MLP removed.
+func fixedUtilLatency(k kernels.Kernel, g gpu.Spec, util float64) float64 {
+	tl := tile.Select(k, g)
+	numTiles := tile.NumTiles(k.OutputDims(), tl)
+	waves := tile.NumWaves(numTiles, g.SMs)
+	flopsTile := k.FLOPs() / float64(numTiles)
+	perSM := core.RooflineBW(k, g) / float64(g.SMs)
+	return flopsTile / (perSM * util) * float64(waves) * 1e3
+}
+
+// clonePredictorWithEmptyDB reloads the trained weights against an empty
+// tile database via the save/load round trip.
+func clonePredictorWithEmptyDB(lab *Lab) *core.Predictor {
+	path := tempPath("ablation-model.json")
+	must(lab.NeuSight.Save(path))
+	p, err := core.Load(path, tile.NewDB())
+	must(err)
+	return p
+}

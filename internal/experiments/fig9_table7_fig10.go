@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+	"neusight/internal/models"
+)
+
+// Fig9 reproduces Figure 9: NeuSight trained on MI100/MI210 data predicting
+// the held-out MI250 across models and batch sizes, for inference and
+// training — the cross-vendor generalization study.
+func Fig9(lab *Lab) []*Table {
+	lab.EnsureAMD()
+	mi250 := gpu.MustLookup("MI250")
+	amdModels := []string{"BERT-Large", "GPT2-Large", "GPT3-XL", "GPT3-2.7B", "OPT-1.3B"}
+	batches := map[string][]int{
+		"BERT-Large": {8, 16}, "GPT2-Large": {4, 8},
+		"GPT3-XL": {2, 4}, "GPT3-2.7B": {2, 4}, "OPT-1.3B": {2, 4},
+	}
+	var tables []*Table
+	for _, training := range []bool{false, true} {
+		id, title := "fig9a", "AMD MI250 inference prediction error (trained on MI100/MI210)"
+		if training {
+			id, title = "fig9b", "AMD MI250 training prediction error (trained on MI100/MI210)"
+		}
+		t := &Table{ID: id, Title: title,
+			Columns: []string{"Model", "Batch", "Measured (ms)", "NeuSight (ms)", "Error"}}
+		var errs []float64
+		for _, name := range amdModels {
+			m := models.MustLookup(name)
+			for _, b := range batches[name] {
+				if !m.FitsInMemory(b, mi250, training) {
+					continue
+				}
+				gr := m.InferenceGraph(b)
+				if training {
+					gr = m.TrainingGraph(b)
+				}
+				ks := gr.Kernels()
+				measured := lab.MeasureGraph(ks, mi250)
+				pred := PredictGraphWith(lab.AMDNeuSight, ks, mi250)
+				e := metrics.APE(pred, measured)
+				errs = append(errs, e)
+				t.AddRow(name, fmt.Sprintf("%d", b), ms(measured), ms(pred), pct(e))
+			}
+		}
+		t.AddRow("AVERAGE", "", "", "", pct(metrics.Mean(errs)))
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Table7 reproduces Table 7: inference prediction with operator fusion
+// (torch.compile-style) for BERT-Large and GPT2-Large on L4, A100-40GB,
+// and H100 — measured and predicted latency for the fused and non-fused
+// graphs.
+func Table7(lab *Lab) *Table {
+	t := &Table{
+		ID:    "table7",
+		Title: "Operator-fusion inference prediction (measured / predicted ms, error)",
+		Columns: []string{
+			"Model", "Batch", "GPU",
+			"Non-fused measured", "Non-fused predicted",
+			"Fused measured", "Fused predicted",
+		},
+	}
+	gpus := []gpu.Spec{gpu.MustLookup("L4"), gpu.MustLookup("A100-40GB"), gpu.MustLookup("H100")}
+	rows := []workload{
+		{models.MustLookup("BERT-Large"), 8},
+		{models.MustLookup("BERT-Large"), 16},
+		{models.MustLookup("GPT2-Large"), 4},
+		{models.MustLookup("GPT2-Large"), 8},
+	}
+	for _, w := range rows {
+		plain := w.Model.InferenceGraph(w.Batch)
+		fused := graph.Fuse(plain)
+		for _, g := range gpus {
+			mPlain := lab.MeasureGraph(plain.Kernels(), g)
+			mFused := lab.MeasureGraph(fused.Kernels(), g)
+			pPlain := PredictGraphWith(lab.NeuSight, plain.Kernels(), g)
+			pFused := PredictGraphWith(lab.NeuSight, fused.Kernels(), g)
+			t.AddRow(w.Model.Name, fmt.Sprintf("%d", w.Batch), labelGPU(g),
+				ms(mPlain), fmt.Sprintf("%s (%s)", ms(pPlain), pct(metrics.APE(pPlain, mPlain))),
+				ms(mFused), fmt.Sprintf("%s (%s)", ms(pFused), pct(metrics.APE(pFused, mFused))))
+		}
+	}
+	return t
+}
+
+// Fig10 reproduces Figure 10: FP16 batched matrix multiplication on H100
+// tensor cores — NeuSight adapted by adjusting input features for the
+// lower precision and higher peak FLOPS.
+func Fig10(lab *Lab) *Table {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "H100 FP16 tensor-core (NxN)x(NxN) BMM prediction",
+		Columns: []string{"N", "Batch", "Measured (ms)", "NeuSight (ms)", "Error"},
+	}
+	h100 := gpu.MustLookup("H100")
+	var errs []float64
+	for _, n := range []int{512, 1024, 2048, 4096} {
+		for _, b := range []int{8, 16} {
+			k := kernels.NewBMM(b, n, n, n).WithDType(kernels.FP16)
+			measured := lab.Sim.KernelLatency(k, h100)
+			pred, err := lab.NeuSight.PredictKernel(k, h100)
+			must(err)
+			e := metrics.APE(pred, measured)
+			errs = append(errs, e)
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", b), ms(measured), ms(pred), pct(e))
+		}
+	}
+	t.AddRow("AVERAGE", "", "", "", pct(metrics.Mean(errs)))
+	return t
+}

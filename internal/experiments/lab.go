@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"neusight/internal/baselines"
+	"neusight/internal/core"
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/network"
+	"neusight/internal/tile"
+)
+
+// KernelPredictor is any latency forecaster in the comparison: NeuSight,
+// the three baselines, and the Table 1 study predictors all satisfy it.
+type KernelPredictor interface {
+	Name() string
+	PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
+}
+
+// Lab is the shared trained state behind every experiment: the measurement
+// substrates, the profiling artifacts, and every trained predictor. It is
+// built once (training the MLPs is the expensive step) and reused.
+type Lab struct {
+	Cfg LabConfig
+
+	Sim    *gpusim.Simulator
+	NetSim *network.Sim
+
+	TileDB   *tile.DB
+	Data     *dataset.Dataset
+	NeuSight *core.Predictor
+	Habitat  *baselines.Habitat
+	Li       *baselines.LiRegression
+	Roofline baselines.Roofline
+
+	// AMD study state (Figure 9).
+	AMDTileDB   *tile.DB
+	AMDNeuSight *core.Predictor
+}
+
+// LabConfig scales the lab build. Scale multiplies the dataset sizes;
+// 1.0 is the full run used by cmd/experiments, smaller values keep unit
+// tests and benchmarks fast.
+type LabConfig struct {
+	Seed    int64
+	Scale   float64
+	Core    core.Config
+	Habitat baselines.DirectConfig
+}
+
+// DefaultLabConfig is the full-scale experiment configuration.
+func DefaultLabConfig() LabConfig {
+	return LabConfig{Seed: 42, Scale: 1.0, Core: core.DefaultConfig(), Habitat: baselines.DefaultDirectConfig()}
+}
+
+// QuickLabConfig is a reduced configuration for tests and benchmarks.
+func QuickLabConfig() LabConfig {
+	return LabConfig{
+		Seed:  42,
+		Scale: 0.25,
+		Core: core.Config{
+			Hidden: 32, Layers: 2, Epochs: 30, BatchSize: 128,
+			LR: 5e-3, WeightDecay: 1e-4, Seed: 1,
+		},
+		Habitat: baselines.DirectConfig{
+			Hidden: 32, Layers: 2, Epochs: 30, BatchSize: 128, LR: 5e-3, Seed: 2,
+		},
+	}
+}
+
+// scaleGen multiplies the default generation counts.
+func scaleGen(seed int64, scale float64, gpus []gpu.Spec) dataset.GenConfig {
+	base := dataset.DefaultGenConfig(seed)
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return dataset.GenConfig{
+		Seed: seed, BMM: s(base.BMM), FC: s(base.FC), EW: s(base.EW),
+		Softmax: s(base.Softmax), LN: s(base.LN),
+		GPUs: gpus, MaxBMMDim: 1024,
+	}
+}
+
+// NewLab generates the training data on the simulated training GPUs and
+// trains every predictor (paper Section 6.1's setup).
+func NewLab(cfg LabConfig) *Lab {
+	lab := &Lab{
+		Cfg:    cfg,
+		Sim:    gpusim.New(),
+		NetSim: network.NewSim(),
+		TileDB: tile.NewDB(),
+	}
+	lab.Data = dataset.Generate(scaleGen(cfg.Seed, cfg.Scale, gpu.TrainSet()), lab.Sim, lab.TileDB)
+
+	lab.NeuSight = core.NewPredictor(cfg.Core, lab.TileDB)
+	lab.NeuSight.Train(lab.Data)
+
+	lab.Habitat = baselines.NewHabitat(cfg.Habitat, lab.Sim)
+	lab.Habitat.Train(lab.Data)
+
+	lab.Li = baselines.NewLiRegression()
+	lab.Li.Train(lab.Data)
+	return lab
+}
+
+// EnsureAMD lazily trains the AMD-side NeuSight on MI100/MI210 data
+// (Figure 9's cross-vendor study).
+func (l *Lab) EnsureAMD() {
+	if l.AMDNeuSight != nil {
+		return
+	}
+	l.AMDTileDB = tile.NewDB()
+	amdData := dataset.Generate(scaleGen(l.Cfg.Seed+1, l.Cfg.Scale, gpu.AMDTrainSet()), l.Sim, l.AMDTileDB)
+	l.AMDNeuSight = core.NewPredictor(l.Cfg.Core, l.AMDTileDB)
+	l.AMDNeuSight.Train(amdData)
+}
+
+// Predictors returns the Figure 7 comparison set in presentation order.
+func (l *Lab) Predictors() []KernelPredictor {
+	return []KernelPredictor{l.NeuSight, l.Roofline, l.Habitat, l.Li}
+}
+
+// PredictGraphWith sums per-kernel forecasts of p over gr's kernels on g,
+// falling back to the memory-bound estimate when a predictor cannot handle
+// an operator (matching how the harness treats "other" kernels for every
+// method).
+func PredictGraphWith(p KernelPredictor, ks []kernels.Kernel, g gpu.Spec) float64 {
+	total := 0.0
+	for _, k := range ks {
+		if k.Category() == kernels.CatNetwork {
+			continue
+		}
+		lat, err := p.PredictKernel(k, g)
+		if err != nil {
+			lat = core.MemBoundLatency(k, g)
+		}
+		total += lat
+	}
+	return total
+}
+
+// MeasureGraph sums simulator latencies over kernels on g — the harness's
+// ground truth for end-to-end model execution.
+func (l *Lab) MeasureGraph(ks []kernels.Kernel, g gpu.Spec) float64 {
+	total := 0.0
+	for _, k := range ks {
+		if k.Category() == kernels.CatNetwork {
+			continue
+		}
+		total += l.Sim.KernelLatency(k, g)
+	}
+	return total
+}
+
+// labelGPU marks out-of-distribution devices as the paper's figures do.
+func labelGPU(g gpu.Spec) string {
+	for _, t := range gpu.TestSet() {
+		if t.Name == g.Name {
+			return g.Name + "*"
+		}
+	}
+	if g.Name == "MI250" {
+		return g.Name + "*"
+	}
+	return g.Name
+}
+
+// must panics on error — for experiment code paths where inputs are fixed.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+// tempPath returns a scratch file path under the OS temp directory.
+func tempPath(name string) string {
+	return filepath.Join(os.TempDir(), fmt.Sprintf("neusight-%d-%s", os.Getpid(), name))
+}

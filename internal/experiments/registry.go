@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact from a trained lab.
+type Runner func(*Lab) []*Table
+
+// registry maps experiment IDs to their runners.
+var registry = map[string]Runner{
+	"fig2":     Fig2,
+	"table1":   func(l *Lab) []*Table { return []*Table{Table1(l)} },
+	"table2":   func(l *Lab) []*Table { return []*Table{Table2(l)} },
+	"fig5":     func(l *Lab) []*Table { return []*Table{Fig5(l)} },
+	"fig7":     Fig7,
+	"fig8":     func(l *Lab) []*Table { return []*Table{Fig8(l)} },
+	"table6":   func(l *Lab) []*Table { return []*Table{Table6(l)} },
+	"fig9":     Fig9,
+	"table7":   func(l *Lab) []*Table { return []*Table{Table7(l)} },
+	"fig10":    func(l *Lab) []*Table { return []*Table{Fig10(l)} },
+	"table8":   func(l *Lab) []*Table { return []*Table{Table8(l)} },
+	"table9":   func(l *Lab) []*Table { return []*Table{Table9(l)} },
+	"ablation": func(l *Lab) []*Table { return []*Table{Ablation(l)} },
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, lab *Lab) ([]*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(lab), nil
+}

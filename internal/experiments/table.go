@@ -1,0 +1,65 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on top of the simulated substrate. Each experiment
+// is a function from a trained Lab to one or more Tables; cmd/experiments
+// renders them as markdown and CSV, and bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig7a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, r := range t.Rows {
+		quoted := make([]string, len(r))
+		for i, c := range r {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		b.WriteString(strings.Join(quoted, ",") + "\n")
+	}
+	return b.String()
+}
+
+// pct formats a percentage-error cell.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// ms formats a latency cell.
+func ms(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/tile"
+)
+
+// Table2 reproduces Table 2: measured compute utilization of the H100 when
+// executing the BERT-shaped (512x64)x(64x512) matrix multiplication across
+// batch sizes — the evidence that kernels often under-utilize peak FLOPS.
+func Table2(lab *Lab) *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "H100 compute utilization of (512x64)x(64x512) BMM",
+		Columns: []string{"Batch Size", "Peak FLOPS Utilization"},
+	}
+	h100 := gpu.MustLookup("H100")
+	for _, b := range []int{32, 64, 128, 256, 512} {
+		k := kernels.NewBMM(b, 512, 64, 512)
+		t.AddRow(fmt.Sprintf("%d", b), pct(lab.Sim.ComputeUtilization(k, h100)*100))
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: achieved throughput of a (256x256)x(256x256)
+// matrix multiplication on V100 as the wave count grows (batch swept 1 to
+// 300) — the latency-hiding ramp that motivates the utilization law.
+func Fig5(lab *Lab) *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "V100 throughput vs waves for 256x256 GEMM (batch 1-300)",
+		Columns: []string{"Batch", "Waves", "Achieved TFLOPS"},
+	}
+	v100 := gpu.MustLookup("V100")
+	for _, b := range []int{1, 5, 10, 20, 40, 80, 120, 160, 200, 240, 300} {
+		k := kernels.NewBMM(b, 256, 256, 256)
+		tl := tile.Select(k, v100)
+		waves := tile.Waves(k, tl, v100)
+		tput := lab.Sim.AchievedFLOPS(k, v100) / 1e12
+		t.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%d", waves), fmt.Sprintf("%.2f", tput))
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neusight/internal/distributed"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/metrics"
+	"neusight/internal/models"
+	"neusight/internal/network"
+)
+
+// Table8 reproduces Table 8: distributed training latency prediction on a
+// 4x A100-40GB NVLink server and a 4x H100 DGX box, for GPT2-Large and
+// GPT3-XL under data, tensor, and pipeline parallelism. Measurement uses
+// the full simulation (gpusim + network.Sim); prediction uses NeuSight's
+// kernel forecasts plus the link model calibrated on the V100 reference
+// system (Section 5.1's methodology). OOM combinations are omitted.
+func Table8(lab *Lab) *Table {
+	t := &Table{
+		ID:    "table8",
+		Title: "Distributed training prediction: measured ms / predicted ms (error)",
+		Columns: []string{
+			"Model", "Global Batch", "Server", "Strategy",
+			"Measured (ms)", "NeuSight (ms)", "Error",
+		},
+	}
+	servers := []gpu.ServerSpec{
+		gpu.MustLookupServer("A100x4-NVLink"),
+		gpu.MustLookupServer("H100x4-DGX"),
+	}
+	calibrated := network.Calibrate(lab.NetSim, gpu.MustLookupServer("V100x4-NVLink"))
+
+	type cfgRow struct {
+		model string
+		batch int
+	}
+	rows := []cfgRow{
+		{"GPT2-Large", 4}, {"GPT2-Large", 16}, {"GPT3-XL", 4},
+	}
+	var errs []float64
+	for _, r := range rows {
+		m := models.MustLookup(r.model)
+		for _, srv := range servers {
+			for _, strat := range []distributed.Strategy{
+				distributed.DataParallel, distributed.TensorParallel, distributed.PipelineParallel,
+			} {
+				if oomDistributed(m, r.batch, srv, strat) {
+					t.AddRow(r.model, fmt.Sprintf("%d", r.batch), srv.Name, strat.String(), "OOM", "", "")
+					continue
+				}
+				plan := distributed.Plan{
+					Model: m, GlobalBatch: r.batch, Server: srv,
+					Strategy: strat, Training: true,
+				}
+				measured, err := distributed.Estimate(plan, lab.simKernelLat(srv.GPU), lab.NetSim)
+				must(err)
+				predicted, err := distributed.Estimate(plan, lab.neusightKernelLat(srv.GPU), calibrated)
+				must(err)
+				e := metrics.APE(predicted.TotalMs, measured.TotalMs)
+				errs = append(errs, e)
+				t.AddRow(r.model, fmt.Sprintf("%d", r.batch), srv.Name, strat.String(),
+					ms(measured.TotalMs), ms(predicted.TotalMs), pct(e))
+			}
+		}
+	}
+	t.AddRow("AVERAGE", "", "", "", "", "", pct(metrics.Mean(errs)))
+	return t
+}
+
+// oomDistributed applies the paper's OOM accounting per strategy: DP holds
+// the full model per GPU at batch/n; TP shards weights n-ways; PP shards
+// layers n-ways but streams the full batch.
+func oomDistributed(m models.Config, batch int, srv gpu.ServerSpec, s distributed.Strategy) bool {
+	n := srv.NumGPUs
+	switch s {
+	case distributed.DataParallel:
+		if batch < n {
+			return true
+		}
+		return !m.FitsInMemory(batch/n, srv.GPU, true)
+	case distributed.TensorParallel:
+		return m.MemoryBytes(batch, true)/float64(n) > srv.GPU.MemoryGB*1e9*0.92
+	case distributed.PipelineParallel:
+		return m.MemoryBytes(batch, true)/float64(n) > srv.GPU.MemoryGB*1e9*0.92
+	}
+	return false
+}
+
+// simKernelLat prices kernels with the ground-truth simulator.
+func (l *Lab) simKernelLat(g gpu.Spec) func(kernels.Kernel) float64 {
+	return func(k kernels.Kernel) float64 { return l.Sim.KernelLatency(k, g) }
+}
+
+// neusightKernelLat prices kernels with the trained predictor, falling back
+// to the memory-bound estimate exactly as PredictGraphWith does.
+func (l *Lab) neusightKernelLat(g gpu.Spec) func(kernels.Kernel) float64 {
+	return func(k kernels.Kernel) float64 {
+		lat, err := l.NeuSight.PredictKernel(k, g)
+		if err != nil {
+			return 0
+		}
+		return lat
+	}
+}
+
+// Table9 reproduces Table 9: NeuSight's forecast for multi-node GPT-3
+// training on 8x H100 nodes over a hierarchical InfiniBand fat-tree. As in
+// the paper, there is no measured ground truth at this scale — the table
+// reports the forecast itself.
+func Table9(lab *Lab) *Table {
+	t := &Table{
+		ID:      "table9",
+		Title:   "Multi-node GPT-3 training forecast (8x H100 per node, TP8 + DP across nodes)",
+		Columns: []string{"# Nodes", "Compute (ms)", "Network (ms)", "NeuSight Prediction (ms)"},
+	}
+	srv := gpu.MustLookupServer("H100x8-DGX")
+	link := network.Calibrate(lab.NetSim, gpu.MustLookupServer("V100x4-NVLink"))
+	tree := network.Table9Hierarchy(0.8)
+	model := models.GPT3MultiNode()
+	for _, nodes := range []int{1, 4, 384, 768, 3840} {
+		f, err := distributed.EstimateMultiNode(distributed.MultiNodePlan{
+			Model: model, Nodes: nodes, Server: srv, PerNodeBatch: 8,
+			Tree: tree, DType: kernels.FP16,
+		}, lab.neusightKernelLat(srv.GPU), link)
+		must(err)
+		t.AddRow(fmt.Sprintf("%d", nodes), ms(f.ComputeMs), ms(f.NetworkMs), ms(f.TotalMs))
+	}
+	return t
+}

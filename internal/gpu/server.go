@@ -1,0 +1,51 @@
+package gpu
+
+import "fmt"
+
+// ServerSpec describes a multi-GPU server (paper Section 6.3): a set of
+// identical devices plus the intra-server interconnect.
+type ServerSpec struct {
+	Name        string
+	GPU         Spec
+	NumGPUs     int
+	LinkBWGBs   float64 // bi-directional GPU-to-GPU bandwidth, GB/s
+	Interconn   string  // "NVLink" or "DGX"
+	NodeNICGbps float64 // per-node network bandwidth for multi-node runs, Gbps
+}
+
+var servers = map[string]ServerSpec{}
+
+func registerServer(s ServerSpec) {
+	if _, dup := servers[s.Name]; dup {
+		panic(fmt.Sprintf("gpu: duplicate server %q", s.Name))
+	}
+	servers[s.Name] = s
+}
+
+func init() {
+	// Paper Section 6.3: 4x A100-40GB mesh with 12 NVLinks (600 GB/s) and
+	// 4x H100 DGX with 18 NVLinks (900 GB/s); the multi-node study uses
+	// 8x H100 nodes with 100 Gbps InfiniBand.
+	registerServer(ServerSpec{Name: "A100x4-NVLink", GPU: MustLookup("A100-40GB"), NumGPUs: 4, LinkBWGBs: 600, Interconn: "NVLink"})
+	registerServer(ServerSpec{Name: "H100x4-DGX", GPU: MustLookup("H100"), NumGPUs: 4, LinkBWGBs: 900, Interconn: "DGX"})
+	registerServer(ServerSpec{Name: "H100x8-DGX", GPU: MustLookup("H100"), NumGPUs: 8, LinkBWGBs: 900, Interconn: "DGX", NodeNICGbps: 100})
+	registerServer(ServerSpec{Name: "V100x4-NVLink", GPU: MustLookup("V100"), NumGPUs: 4, LinkBWGBs: 300, Interconn: "NVLink"})
+}
+
+// LookupServer returns the server spec for name.
+func LookupServer(name string) (ServerSpec, error) {
+	s, ok := servers[name]
+	if !ok {
+		return ServerSpec{}, fmt.Errorf("gpu: unknown server %q", name)
+	}
+	return s, nil
+}
+
+// MustLookupServer panics on unknown server names.
+func MustLookupServer(name string) ServerSpec {
+	s, err := LookupServer(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

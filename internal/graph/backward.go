@@ -1,0 +1,83 @@
+package graph
+
+import "neusight/internal/kernels"
+
+// Backward derives the training graph for a forward graph: the forward
+// kernels followed by the backward kernels of each differentiable node in
+// reverse order. The per-iteration training latency the paper reports is
+// "a single forward and backward pass" (Section 6.1), so no optimizer-step
+// kernels are emitted.
+//
+// Backward cost rules follow standard framework behavior:
+//
+//	Linear (X@W):  two GEMMs — dX = dY@Wᵀ and dW = Xᵀ@dY — each with the
+//	               forward GEMM's FLOP count.
+//	BMM (A@B):     two BMMs — dA = dY@Bᵀ, dB = Aᵀ@dY.
+//	Elementwise:   one elementwise kernel of the same size.
+//	Softmax:       one softmax-shaped kernel (y*(g - Σyg) is the same
+//	               traffic/flop class as the forward).
+//	LayerNorm:     one layernorm-shaped kernel.
+//	Embedding:     one scatter-add gather of the same size (memory-bound).
+//	Dropout/Transpose: one kernel of the same size.
+//
+// Network kernels (collectives) are skipped; distributed transforms insert
+// their own gradient collectives.
+func Backward(fwd *Graph) *Graph {
+	out := New(fwd.Name + "/train")
+	for _, n := range fwd.Nodes {
+		out.Add(n.Kernel, n.Deps...)
+	}
+	// Backward kernels chain sequentially after the forward pass in
+	// reverse node order.
+	prev := len(out.Nodes) - 1
+	for i := len(fwd.Nodes) - 1; i >= 0; i-- {
+		for _, bk := range backwardKernels(fwd.Nodes[i].Kernel) {
+			deps := []int{}
+			if prev >= 0 {
+				deps = append(deps, prev)
+			}
+			prev = out.Add(bk, deps...)
+		}
+	}
+	return out
+}
+
+// backwardKernels returns the kernels a framework launches to backpropagate
+// through k.
+func backwardKernels(k kernels.Kernel) []kernels.Kernel {
+	d := k.DType
+	switch k.Op {
+	case kernels.OpLinear:
+		// dX: (M x N) @ (N x K); dW: (K x M) @ (M x N).
+		return []kernels.Kernel{
+			kernels.NewLinear(k.M, k.N, k.K).WithDType(d),
+			kernels.NewLinear(k.K, k.M, k.N).WithDType(d),
+		}
+	case kernels.OpBMM:
+		return []kernels.Kernel{
+			kernels.NewBMM(k.B, k.M, k.N, k.K).WithDType(d),
+			kernels.NewBMM(k.B, k.K, k.M, k.N).WithDType(d),
+		}
+	case kernels.OpEWAdd, kernels.OpEWMul, kernels.OpEWDiv,
+		kernels.OpEWReLU, kernels.OpEWGELU, kernels.OpEWTanh,
+		kernels.OpDropout, kernels.OpTranspose:
+		return []kernels.Kernel{{Op: k.Op, B: k.B, M: k.M, DType: d}}
+	case kernels.OpSoftmax:
+		return []kernels.Kernel{kernels.NewSoftmax(k.B, k.M).WithDType(d)}
+	case kernels.OpLayerNorm:
+		return []kernels.Kernel{kernels.NewLayerNorm(k.B, k.M).WithDType(d)}
+	case kernels.OpConv2D:
+		// dX: the transposed convolution (M x N)@(N x K); dW: (K x M)@(M x N).
+		// Both stay implicit GEMMs of the forward's FLOP count.
+		return []kernels.Kernel{
+			{Op: kernels.OpConv2D, B: 1, M: k.M, K: k.N, N: k.K, DType: d, ConvInputElems: float64(k.M) * float64(k.N)},
+			{Op: kernels.OpConv2D, B: 1, M: k.K, K: k.M, N: k.N, DType: d, ConvInputElems: float64(k.K) * float64(k.M)},
+		}
+	case kernels.OpEmbedding:
+		return []kernels.Kernel{{Op: kernels.OpEmbedding, B: k.B, M: k.M, K: k.K, DType: d}}
+	case kernels.OpAllReduce, kernels.OpSendRecv:
+		return nil
+	default:
+		return []kernels.Kernel{{Op: k.Op, B: k.B, M: k.M, DType: d}}
+	}
+}

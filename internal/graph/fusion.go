@@ -1,0 +1,105 @@
+package graph
+
+import "neusight/internal/kernels"
+
+// Fuse applies the operator-fusion pass of paper Section 4.4, emulating
+// torch.compile's behavior on the patterns the paper calls out:
+//
+//   - a GEMM (Linear or BMM) folds a following elementwise epilogue —
+//     activation functions and residual adds (the extra residual operand
+//     becomes an epilogue input);
+//   - consecutive elementwise kernels fuse into one;
+//   - an elementwise kernel fuses with a following layer normalization
+//     (the GPT-2 residual-add + layernorm example).
+//
+// A producer fuses only when it has exactly one consumer (otherwise its
+// output must materialize anyway); the consumer may read additional inputs.
+// Chains fuse greedily left to right. The fused kernel accumulates FLOPs
+// and drops intermediate traffic via kernels.Fuse.
+func Fuse(g *Graph) *Graph {
+	cons := g.Consumers()
+	out := New(g.Name + "/fused")
+	newID := make([]int, len(g.Nodes))
+	fusedInto := make([]int, len(g.Nodes)) // -1: not fused away
+	for i := range fusedInto {
+		fusedInto[i] = -1
+	}
+
+	for i := 0; i < len(g.Nodes); i++ {
+		if fusedInto[i] >= 0 {
+			continue
+		}
+		head := g.Nodes[i]
+		var chain []kernels.Kernel
+		members := map[int]bool{head.ID: true}
+		extraDeps := []int{}
+		cur := head
+		for {
+			c := cons[cur.ID]
+			if len(c) != 1 {
+				break
+			}
+			next := g.Nodes[c[0]]
+			if fusedInto[next.ID] >= 0 || !fusable(cur.Kernel, next.Kernel) {
+				break
+			}
+			chain = append(chain, next.Kernel)
+			members[next.ID] = true
+			fusedInto[next.ID] = head.ID
+			// Epilogue operands beyond the fused intermediate (e.g. the
+			// residual tensor of a fused add) stay inputs of the fused node.
+			for _, d := range next.Deps {
+				if !members[d] {
+					extraDeps = append(extraDeps, d)
+				}
+			}
+			cur = next
+		}
+		k := head.Kernel
+		if len(chain) > 0 {
+			k = kernels.Fuse(head.Kernel, chain...)
+		}
+		deps := remapDeps(append(append([]int{}, head.Deps...), extraDeps...), newID, fusedInto)
+		newID[head.ID] = out.Add(k, deps...)
+		// Nodes fused into head resolve to head's new ID for consumers.
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if fusedInto[j] == head.ID {
+				newID[j] = newID[head.ID]
+			}
+		}
+	}
+	return out
+}
+
+// fusable reports whether consumer b may fold into producer a as an
+// epilogue.
+func fusable(a, b kernels.Kernel) bool {
+	ac, bc := a.Category(), b.Category()
+	switch {
+	case (ac == kernels.CatBMM || ac == kernels.CatLinear) && bc == kernels.CatElementwise:
+		return true
+	case ac == kernels.CatElementwise && bc == kernels.CatElementwise:
+		return true
+	case ac == kernels.CatElementwise && bc == kernels.CatLayerNorm:
+		return true
+	default:
+		return false
+	}
+}
+
+func remapDeps(deps []int, newID, fusedInto []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range deps {
+		// Follow fusion chains to the surviving head.
+		for fusedInto[d] >= 0 {
+			d = fusedInto[d]
+		}
+		nd := newID[d]
+		if !seen[nd] {
+			seen[nd] = true
+			out = append(out, nd)
+		}
+	}
+	return out
+}

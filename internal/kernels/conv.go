@@ -1,0 +1,55 @@
+package kernels
+
+import "fmt"
+
+// Conv2DShape carries the full convolution geometry. The kernel itself is
+// lowered to an implicit GEMM the way cuDNN/CUTLASS execute it (im2col):
+// M = batch*Hout*Wout output positions, K = Cin*Kh*Kw patch elements,
+// N = Cout filters. The paper treats GEMM as the core building block of
+// convolution layers (Section 4.1), and the implicit-GEMM lowering is what
+// routes CONV kernels to the fully-connected predictor.
+type Conv2DShape struct {
+	Batch, Cin, H, W int
+	Cout, Kh, Kw     int
+	Stride, Pad      int
+}
+
+// OutHW returns the output spatial dimensions.
+func (s Conv2DShape) OutHW() (int, int) {
+	oh := (s.H+2*s.Pad-s.Kh)/s.Stride + 1
+	ow := (s.W+2*s.Pad-s.Kw)/s.Stride + 1
+	return oh, ow
+}
+
+// NewConv2D builds a 2D convolution kernel lowered to implicit GEMM.
+func NewConv2D(s Conv2DShape) Kernel {
+	mustPositive("Conv2D", s.Batch, s.Cin, s.H, s.W, s.Cout, s.Kh, s.Kw, s.Stride)
+	if s.Pad < 0 {
+		panic(fmt.Sprintf("kernels: Conv2D negative padding %d", s.Pad))
+	}
+	oh, ow := s.OutHW()
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("kernels: Conv2D output collapses to %dx%d", oh, ow))
+	}
+	return Kernel{
+		Op: OpConv2D,
+		B:  1,
+		M:  s.Batch * oh * ow,
+		K:  s.Cin * s.Kh * s.Kw,
+		N:  s.Cout,
+
+		ConvInputElems: float64(s.Batch) * float64(s.Cin) * float64(s.H) * float64(s.W),
+	}
+}
+
+// NewPool2D builds a pooling kernel over batch x channels x H x W inputs
+// with the given window/stride. Pooling is memory-bound (a windowed copy).
+func NewPool2D(batch, channels, h, w, window, stride int) Kernel {
+	mustPositive("Pool2D", batch, channels, h, w, window, stride)
+	oh := (h-window)/stride + 1
+	ow := (w-window)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic("kernels: Pool2D output collapses")
+	}
+	return Kernel{Op: OpPool, B: batch * channels, M: oh * ow}
+}

@@ -1,0 +1,272 @@
+// Package kernels defines the DNN operator taxonomy and its cost accounting.
+// A Kernel is what the paper calls a "DNN kernel": a tensor operator (GEMM,
+// Add, Softmax, ...) executed atomically on the device (Section 2.2). Each
+// kernel knows its FLOP count, memory traffic, and output dimensions — the
+// three quantities every predictor in the framework consumes.
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies the operator computed by a kernel.
+type Op int
+
+// Operator types. The five categories with dedicated NeuSight predictors
+// (paper Section 4.3) are BMM, Linear, the EW* group, Softmax, and
+// LayerNorm; everything else falls back to the memory-bound estimate.
+const (
+	OpBMM Op = iota
+	OpLinear
+	OpEWAdd
+	OpEWMul
+	OpEWDiv
+	OpEWReLU
+	OpEWGELU
+	OpEWTanh
+	OpSoftmax
+	OpLayerNorm
+	OpEmbedding
+	OpDropout
+	OpTranspose
+	OpAllReduce // network collective, sized by tensor bytes
+	OpSendRecv  // network point-to-point
+	OpConv2D    // 2D convolution lowered to implicit GEMM (see conv.go)
+	OpPool      // pooling, memory-bound
+)
+
+var opNames = map[Op]string{
+	OpBMM: "bmm", OpLinear: "linear",
+	OpEWAdd: "ew_add", OpEWMul: "ew_mul", OpEWDiv: "ew_div",
+	OpEWReLU: "ew_relu", OpEWGELU: "ew_gelu", OpEWTanh: "ew_tanh",
+	OpSoftmax: "softmax", OpLayerNorm: "layernorm",
+	OpEmbedding: "embedding", OpDropout: "dropout", OpTranspose: "transpose",
+	OpAllReduce: "allreduce", OpSendRecv: "sendrecv",
+	OpConv2D: "conv2d", OpPool: "pool",
+}
+
+// String returns the canonical lowercase name.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Category groups operators by which predictor handles them.
+type Category int
+
+// Predictor categories (paper Section 4.3: "five MLPs to predict the
+// utilization for BMM, fully-connected layers, element-wise operators,
+// softmax, and layer normalization").
+const (
+	CatBMM Category = iota
+	CatLinear
+	CatElementwise
+	CatSoftmax
+	CatLayerNorm
+	CatMemoryBound // unseen ops: latency = bytes / memBW
+	CatNetwork     // collectives, handled by the network model
+)
+
+var catNames = map[Category]string{
+	CatBMM: "BMM", CatLinear: "FC", CatElementwise: "EW",
+	CatSoftmax: "Softmax", CatLayerNorm: "LN",
+	CatMemoryBound: "Others", CatNetwork: "Network",
+}
+
+// String returns the short label used in the paper's figures.
+func (c Category) String() string { return catNames[c] }
+
+// Categorize maps an operator to its predictor category.
+func Categorize(o Op) Category {
+	switch o {
+	case OpBMM:
+		return CatBMM
+	case OpLinear, OpConv2D:
+		// Convolutions execute as implicit GEMM and route to the
+		// fully-connected predictor.
+		return CatLinear
+	case OpEWAdd, OpEWMul, OpEWDiv, OpEWReLU, OpEWGELU, OpEWTanh:
+		return CatElementwise
+	case OpSoftmax:
+		return CatSoftmax
+	case OpLayerNorm:
+		return CatLayerNorm
+	case OpAllReduce, OpSendRecv:
+		return CatNetwork
+	default:
+		return CatMemoryBound
+	}
+}
+
+// DType is the numeric precision of a kernel's tensors.
+type DType int
+
+// Supported precisions.
+const (
+	FP32 DType = iota
+	FP16
+)
+
+// Bytes returns the element size.
+func (d DType) Bytes() float64 {
+	if d == FP16 {
+		return 2
+	}
+	return 4
+}
+
+// String names the precision.
+func (d DType) String() string {
+	if d == FP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// Kernel is one tensor operator with concrete dimensions.
+//
+// Dimension semantics by op:
+//
+//	BMM:        B batched (M x K) @ (K x N)
+//	Linear:     M rows (batch*seq) through a K -> N layer; B unused (1)
+//	EW binary:  B x M elements in two operands (K, N unused)
+//	EW unary:   B x M elements (K, N unused)
+//	Softmax/LN: B rows of M elements
+//	Embedding:  B tokens gathered into M-wide vectors from a K-row table
+//	AllReduce/SendRecv: B x M element tensor moved over the network
+type Kernel struct {
+	Op         Op
+	B, M, K, N int
+	DType      DType
+
+	// Fusion metadata (paper Section 4.4): a fused kernel accumulates the
+	// FLOPs of all fused ops but drops intermediate memory traffic. When
+	// Fused is true, FusedFLOPs/FusedBytes replace the derived values.
+	Fused      bool
+	FusedFLOPs float64
+	FusedBytes float64
+	FusedOps   []Op
+
+	// ConvInputElems is the real input-tensor element count of an OpConv2D
+	// kernel (batch*Cin*H*W) — the implicit-GEMM lowering reads it instead
+	// of the im2col expansion.
+	ConvInputElems float64
+}
+
+// elements returns the output element count.
+func (k Kernel) elements() float64 { return float64(k.B) * float64(k.M) }
+
+// flopFactor is the per-element flop cost of non-GEMM ops, approximating
+// the instruction mix of each operator.
+var flopFactor = map[Op]float64{
+	OpEWAdd: 1, OpEWMul: 1, OpEWDiv: 1, OpEWReLU: 1,
+	OpEWGELU: 8, OpEWTanh: 4,
+	OpSoftmax: 5, OpLayerNorm: 8,
+	OpEmbedding: 0, OpDropout: 1, OpTranspose: 0, OpPool: 1,
+	OpAllReduce: 0, OpSendRecv: 0,
+}
+
+// FLOPs returns the floating-point operation count of the kernel.
+func (k Kernel) FLOPs() float64 {
+	if k.Fused {
+		return k.FusedFLOPs
+	}
+	switch k.Op {
+	case OpBMM:
+		return 2 * float64(k.B) * float64(k.M) * float64(k.K) * float64(k.N)
+	case OpLinear, OpConv2D:
+		// 2*M*K*N matmul plus M*N bias adds.
+		return 2*float64(k.M)*float64(k.K)*float64(k.N) + float64(k.M)*float64(k.N)
+	default:
+		return k.elements() * flopFactor[k.Op]
+	}
+}
+
+// MemBytes returns the off-chip memory traffic of the kernel: operand reads
+// plus result writes, assuming on-chip reuse within the kernel.
+func (k Kernel) MemBytes() float64 {
+	if k.Fused {
+		return k.FusedBytes
+	}
+	s := k.DType.Bytes()
+	switch k.Op {
+	case OpBMM:
+		return s * float64(k.B) * (float64(k.M)*float64(k.K) + float64(k.K)*float64(k.N) + float64(k.M)*float64(k.N))
+	case OpLinear:
+		return s * (float64(k.M)*float64(k.K) + float64(k.K)*float64(k.N) + float64(k.N) + float64(k.M)*float64(k.N))
+	case OpConv2D:
+		// Implicit GEMM reuses overlapping patches on chip: input traffic
+		// is the real tensor, not the im2col expansion.
+		return s * (k.ConvInputElems + float64(k.K)*float64(k.N) + float64(k.M)*float64(k.N))
+	case OpEWAdd, OpEWMul, OpEWDiv:
+		return s * 3 * k.elements() // two reads, one write
+	case OpEWReLU, OpEWGELU, OpEWTanh, OpDropout, OpTranspose:
+		return s * 2 * k.elements()
+	case OpSoftmax, OpLayerNorm:
+		return s * 2 * k.elements()
+	case OpEmbedding:
+		// Gather of B rows of M floats plus index reads.
+		return s*k.elements() + 4*float64(k.B)
+	case OpAllReduce, OpSendRecv:
+		return s * k.elements()
+	default:
+		return s * 2 * k.elements()
+	}
+}
+
+// ArithmeticIntensity returns FLOPs per byte (paper Eq. 1's K).
+func (k Kernel) ArithmeticIntensity() float64 {
+	b := k.MemBytes()
+	if b == 0 {
+		return 0
+	}
+	return k.FLOPs() / b
+}
+
+// OutputDims returns the logical output tensor dimensions that the tiler
+// partitions (paper Eq. 2's x_i).
+func (k Kernel) OutputDims() []int {
+	switch k.Op {
+	case OpBMM:
+		return []int{k.B, k.M, k.N}
+	case OpLinear, OpConv2D:
+		return []int{k.M, k.N}
+	case OpSoftmax, OpLayerNorm:
+		return []int{k.B, k.M}
+	case OpEmbedding:
+		return []int{k.B, k.M}
+	default:
+		return []int{k.B, k.M}
+	}
+}
+
+// Category returns which predictor handles this kernel.
+func (k Kernel) Category() Category { return Categorize(k.Op) }
+
+// Label renders a compact human-readable description.
+func (k Kernel) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", k.Op)
+	switch k.Op {
+	case OpBMM:
+		fmt.Fprintf(&b, "[%dx(%dx%d@%dx%d)]", k.B, k.M, k.K, k.K, k.N)
+	case OpLinear, OpConv2D:
+		fmt.Fprintf(&b, "[%dx%d->%d]", k.M, k.K, k.N)
+	default:
+		fmt.Fprintf(&b, "[%dx%d]", k.B, k.M)
+	}
+	if k.DType == FP16 {
+		b.WriteString("/fp16")
+	}
+	if k.Fused {
+		names := make([]string, len(k.FusedOps))
+		for i, o := range k.FusedOps {
+			names[i] = o.String()
+		}
+		fmt.Fprintf(&b, "+fused(%s)", strings.Join(names, ","))
+	}
+	return b.String()
+}

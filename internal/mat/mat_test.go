@@ -1,0 +1,261 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v, want 7", row[2])
+	}
+	row[0] = 5 // view, not copy
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a view into the matrix")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows produced %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := a.Add(b); !Equal(got, FromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !Equal(got, FromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); !Equal(got, FromRows([][]float64{{5, 12}, {21, 32}}), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(a); !Equal(got, FromRows([][]float64{{5, 3}, {7.0 / 3, 2}}), 1e-12) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Scale(2); !Equal(got, FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.AddScalar(1); !Equal(got, FromRows([][]float64{{2, 3}, {4, 5}}), 0) {
+		t.Errorf("AddScalar = %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	New(2, 2).Add(New(2, 3))
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.MatMul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(rng, 17, 17, 1)
+	id := New(17, 17)
+	for i := 0; i < 17; i++ {
+		id.Set(i, i, 1)
+	}
+	if got := a.MatMul(id); !Equal(got, a, 1e-12) {
+		t.Fatal("A @ I != A")
+	}
+	if got := id.MatMul(a); !Equal(got, a, 1e-12) {
+		t.Fatal("I @ A != A")
+	}
+}
+
+// TestMatMulParallelMatchesSerial drives MatMul above the parallel
+// threshold and compares against a naive triple loop.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(rng, 80, 70, 1)
+	b := RandN(rng, 70, 90, 1)
+	got := a.MatMul(b)
+	want := New(80, 90)
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 90; j++ {
+			s := 0.0
+			for k := 0; k < 70; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !Equal(got, want, 1e-9) {
+		t.Fatal("parallel MatMul differs from naive result")
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dim mismatch")
+		}
+	}()
+	New(2, 3).MatMul(New(4, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.T()
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !Equal(got, want, 0) {
+		t.Fatalf("T = %v", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, 4}})
+	if s := a.Sum(); s != 6 {
+		t.Errorf("Sum = %v, want 6", s)
+	}
+	if m := a.Mean(); m != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", m)
+	}
+	if m := a.MaxAbs(); m != 4 {
+		t.Errorf("MaxAbs = %v, want 4", m)
+	}
+	if got := a.RowSums(); !Equal(got, FromRows([][]float64{{-1}, {7}}), 0) {
+		t.Errorf("RowSums = %v", got)
+	}
+	if got := a.ColSums(); !Equal(got, FromRows([][]float64{{4, 2}}), 0) {
+		t.Errorf("ColSums = %v", got)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := FromRows([][]float64{{10, 20}})
+	got := a.AddRowVector(v)
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !Equal(got, want, 0) {
+		t.Fatalf("AddRowVector = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromRows([][]float64{{-1, 4}})
+	got := a.Apply(math.Abs)
+	if !Equal(got, FromRows([][]float64{{1, 4}}), 0) {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+// Property: (A @ B)ᵀ == Bᵀ @ Aᵀ for random shapes and values.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a := RandN(rng, m, k, 1)
+		b := RandN(rng, k, n, 1)
+		lhs := a.MatMul(b).T()
+		rhs := b.T().MatMul(a.T())
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition, A@(B+C) == A@B + A@C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a := RandN(r, m, k, 1)
+		b := RandN(r, k, n, 1)
+		c := RandN(r, k, n, 1)
+		lhs := a.MatMul(b.Add(c))
+		rhs := a.MatMul(b).Add(a.MatMul(c))
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := RandN(r, 1+r.Intn(15), 1+r.Intn(15), 2)
+		return Equal(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := RandUniform(rng, 10, 10, -2, 3)
+	for _, v := range m.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("value %v outside [-2, 3)", v)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := RandN(rng, 128, 128, 1)
+	y := RandN(rng, 128, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}

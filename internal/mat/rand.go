@@ -1,0 +1,22 @@
+package mat
+
+import "math/rand"
+
+// RandN returns a rows x cols matrix with entries drawn from N(0, std²)
+// using rng, which callers seed for reproducibility.
+func RandN(rng *rand.Rand, rows, cols int, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform returns a rows x cols matrix with entries in [lo, hi).
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}

@@ -1,0 +1,66 @@
+// Package metrics provides the evaluation statistics the paper reports:
+// absolute percentage error per prediction and its mean over a set (the
+// "percentage error" used throughout Section 6), plus SMAPE for training
+// diagnostics.
+package metrics
+
+import "math"
+
+// APE returns the absolute percentage error of pred against measured, in
+// percent: |pred - measured| / measured * 100.
+func APE(pred, measured float64) float64 {
+	if measured == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-measured) / math.Abs(measured) * 100
+}
+
+// SMAPE returns the symmetric absolute percentage error in percent.
+func SMAPE(pred, measured float64) float64 {
+	den := (math.Abs(pred) + math.Abs(measured)) / 2
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(pred-measured) / den * 100
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MAPE returns the mean APE over paired slices, in percent.
+func MAPE(preds, measured []float64) float64 {
+	if len(preds) != len(measured) {
+		panic("metrics: length mismatch")
+	}
+	errs := make([]float64, len(preds))
+	for i := range preds {
+		errs[i] = APE(preds[i], measured[i])
+	}
+	return Mean(errs)
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAPE(t *testing.T) {
+	if got := APE(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("APE = %v, want 10", got)
+	}
+	if got := APE(50, 100); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("APE = %v, want 50", got)
+	}
+	if got := APE(0, 0); got != 0 {
+		t.Fatalf("APE(0,0) = %v, want 0", got)
+	}
+	if got := APE(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("APE(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestSMAPESymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e150 || math.Abs(b) > 1e150 {
+			return true // intermediate sums overflow beyond float64 range
+		}
+		return math.Abs(SMAPE(a, b)-SMAPE(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := SMAPE(0, 0); got != 0 {
+		t.Fatalf("SMAPE(0,0) = %v", got)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Max([]float64{3, 9, 2}); got != 9 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Fatalf("Max(nil) = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,77 @@
+package models
+
+import (
+	"fmt"
+
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+)
+
+// DecodeStepGraph builds the kernel graph of one autoregressive decode
+// step with a KV cache of pastLen tokens. The paper's generation metric is
+// time-to-first-token (the prefill pass, InferenceGraph); this extension
+// models the per-token latency of the rest of the generation loop, where
+// every GEMM collapses to a single query row and attention reads the whole
+// cache:
+//
+//   - projections become skinny (batch x hidden) GEMMs;
+//   - attention scores are (1 x d) @ (d x pastLen) per head;
+//   - the FFN processes one token per sample.
+//
+// Decode steps are memory-bandwidth-bound, which is exactly the regime the
+// utilization predictors must get right for small-wave kernels.
+func (c Config) DecodeStepGraph(batch, pastLen int) *graph.Graph {
+	if batch <= 0 || pastLen <= 0 {
+		panic("models: batch and pastLen must be positive")
+	}
+	g := graph.New(fmt.Sprintf("%s/b%d/decode@%d", c.Name, batch, pastLen))
+	h := c.Hidden
+	d := c.HeadDim()
+	rows := batch * c.Heads
+
+	last := g.Add(kernels.NewEmbedding(batch, h, c.Vocab))
+	for layer := 0; layer < c.Layers; layer++ {
+		ln1 := g.Add(kernels.NewLayerNorm(batch, h), last)
+		qkv := g.Add(kernels.NewLinear(batch, h, 3*h), ln1)
+		// One query row against the cached keys/values.
+		scores := g.Add(kernels.NewBMM(rows, 1, d, pastLen), qkv)
+		probs := g.Add(kernels.NewSoftmax(rows, pastLen), scores)
+		ctx := g.Add(kernels.NewBMM(rows, 1, pastLen, d), probs)
+		proj := g.Add(kernels.NewLinear(batch, h, h), ctx)
+		res1 := g.Add(kernels.NewElementwise(kernels.OpEWAdd, batch, h), proj, last)
+
+		ln2 := g.Add(kernels.NewLayerNorm(batch, h), res1)
+		up := g.Add(kernels.NewLinear(batch, h, 4*h), ln2)
+		act := g.Add(kernels.NewElementwise(kernels.OpEWGELU, batch, 4*h), up)
+		down := g.Add(kernels.NewLinear(batch, 4*h, h), act)
+		last = g.Add(kernels.NewElementwise(kernels.OpEWAdd, batch, h), down, res1)
+	}
+	final := g.Add(kernels.NewLayerNorm(batch, h), last)
+	g.Add(kernels.NewLinear(batch, h, c.Vocab), final)
+	return g
+}
+
+// GenerationForecast combines prefill and decode forecasts into the
+// latency of generating newTokens tokens from a promptLen prompt.
+type GenerationForecast struct {
+	PrefillMs    float64
+	PerTokenMs   float64 // decode latency at mid-generation cache depth
+	TotalMs      float64
+	TokensPerSec float64
+}
+
+// ForecastGeneration prices a full generation: one prefill at the prompt
+// length plus newTokens decode steps at the average cache depth.
+func (c Config) ForecastGeneration(batch, promptLen, newTokens int, kernelLat func(kernels.Kernel) float64) GenerationForecast {
+	prompt := c
+	prompt.SeqLen = promptLen
+	prefill := prompt.InferenceGraph(batch).Latency(kernelLat)
+	midCache := promptLen + newTokens/2
+	perTok := c.DecodeStepGraph(batch, midCache).Latency(kernelLat)
+	total := prefill + perTok*float64(newTokens)
+	f := GenerationForecast{PrefillMs: prefill, PerTokenMs: perTok, TotalMs: total}
+	if total > 0 {
+		f.TokensPerSec = float64(batch*newTokens) / (total / 1e3)
+	}
+	return f
+}

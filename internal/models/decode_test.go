@@ -1,0 +1,83 @@
+package models
+
+import (
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+)
+
+func TestDecodeStepGraphShape(t *testing.T) {
+	c := MustLookup("GPT2-Large")
+	g := c.DecodeStepGraph(4, 512)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Attention BMMs read the cache: M=1, N or K = pastLen.
+	sawScores := false
+	for _, k := range g.Kernels() {
+		if k.Op == kernels.OpBMM && k.M == 1 && k.N == 512 {
+			sawScores = true
+		}
+	}
+	if !sawScores {
+		t.Fatal("decode graph missing single-query attention over the cache")
+	}
+}
+
+func TestDecodeMuchCheaperThanPrefill(t *testing.T) {
+	c := MustLookup("GPT2-Large")
+	decode := c.DecodeStepGraph(1, c.SeqLen).TotalFLOPs()
+	prefill := c.InferenceGraph(1).TotalFLOPs()
+	// One decode step is roughly prefill/seqlen in FLOPs.
+	if r := prefill / decode; r < float64(c.SeqLen)/4 {
+		t.Fatalf("prefill/decode FLOP ratio = %v, want >> 1", r)
+	}
+}
+
+func TestDecodeLatencyGrowsWithCache(t *testing.T) {
+	sim := gpusim.New()
+	g := gpu.MustLookup("A100-40GB")
+	c := MustLookup("GPT2-Large")
+	lat := func(pastLen int) float64 {
+		total := 0.0
+		for _, k := range c.DecodeStepGraph(8, pastLen).Kernels() {
+			total += sim.KernelLatency(k, g)
+		}
+		return total
+	}
+	if lat(2048) <= lat(128) {
+		t.Fatal("deeper KV cache must cost more per token")
+	}
+}
+
+func TestForecastGeneration(t *testing.T) {
+	sim := gpusim.New()
+	g := gpu.MustLookup("H100")
+	c := MustLookup("GPT2-Large")
+	kernelLat := func(k kernels.Kernel) float64 { return sim.KernelLatency(k, g) }
+	f := c.ForecastGeneration(1, 512, 128, kernelLat)
+	if f.PrefillMs <= 0 || f.PerTokenMs <= 0 {
+		t.Fatalf("forecast = %+v", f)
+	}
+	if f.TotalMs <= f.PrefillMs {
+		t.Fatal("total must include decode steps")
+	}
+	if f.TokensPerSec <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	// Per-token decode must be far cheaper than prefill.
+	if f.PerTokenMs > f.PrefillMs/4 {
+		t.Fatalf("decode step %v ms implausibly close to prefill %v ms", f.PerTokenMs, f.PrefillMs)
+	}
+}
+
+func TestDecodeStepValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLookup("GPT2-Large").DecodeStepGraph(0, 128)
+}

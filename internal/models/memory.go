@@ -1,0 +1,33 @@
+package models
+
+import "neusight/internal/gpu"
+
+// MemoryBytes estimates the device-memory footprint of running the
+// workload at the given batch size: weights (plus gradients and optimizer
+// state when training) and live activations. The estimate is deliberately
+// coarse — it exists to reproduce the paper's "models resulting in OOM are
+// omitted" behavior, not to model an allocator.
+func (c Config) MemoryBytes(batch int, training bool) float64 {
+	params := c.NumParams()
+	weightBytes := params * 4
+	if training {
+		// weights + gradients + AdamW moments.
+		weightBytes *= 4
+	}
+	tokens := float64(batch * c.SeqLen)
+	perLayerAct := tokens * float64(c.Hidden) * 4
+	// Attention score matrices dominate activation memory at long
+	// sequence lengths.
+	attnAct := float64(batch*c.Heads) * float64(c.SeqLen) * float64(c.SeqLen) * 4
+	liveFactor := 2.0 // inference frees layer activations as it goes
+	if training {
+		liveFactor = float64(c.Layers) // training keeps them for backward
+	}
+	actBytes := (perLayerAct*8 + attnAct) * liveFactor
+	return weightBytes + actBytes
+}
+
+// FitsInMemory reports whether the workload at the given batch fits on g.
+func (c Config) FitsInMemory(batch int, g gpu.Spec, training bool) bool {
+	return c.MemoryBytes(batch, training) <= g.MemoryGB*1e9*0.92
+}

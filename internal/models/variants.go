@@ -1,0 +1,192 @@
+package models
+
+import (
+	"fmt"
+
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+)
+
+// This file extends the Table 5 zoo with the architecture variants the
+// paper's introduction motivates — forecasting *new model architectures*
+// on new GPUs: encoder-decoder transformers (T5 family) and
+// Llama-style decoders (RMSNorm, rotary embeddings, SwiGLU FFN).
+
+// EncoderDecoderConfig describes a T5-style encoder-decoder transformer.
+type EncoderDecoderConfig struct {
+	Name      string
+	EncLayers int
+	DecLayers int
+	Heads     int
+	Hidden    int
+	FFN       int // feed-forward width (T5 uses ~4x hidden)
+	SrcLen    int
+	TgtLen    int
+	Vocab     int
+}
+
+// T5Large returns the T5-Large configuration (770M parameters).
+func T5Large() EncoderDecoderConfig {
+	return EncoderDecoderConfig{
+		Name: "T5-Large", EncLayers: 24, DecLayers: 24, Heads: 16,
+		Hidden: 1024, FFN: 4096, SrcLen: 512, TgtLen: 512, Vocab: 32128,
+	}
+}
+
+// InferenceGraph builds the forward graph of one encoder pass plus the
+// decoder prefill — the first-token latency of sequence-to-sequence
+// generation.
+func (c EncoderDecoderConfig) InferenceGraph(batch int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("%s/b%d/infer", c.Name, batch))
+	c.buildForward(g, batch)
+	return g
+}
+
+// TrainingGraph builds the forward+backward graph of one iteration.
+func (c EncoderDecoderConfig) TrainingGraph(batch int) *graph.Graph {
+	fwd := graph.New(fmt.Sprintf("%s/b%d", c.Name, batch))
+	c.buildForward(fwd, batch)
+	return graph.Backward(fwd)
+}
+
+func (c EncoderDecoderConfig) buildForward(g *graph.Graph, batch int) {
+	if batch <= 0 {
+		panic("models: batch must be positive")
+	}
+	d := (c.Hidden + c.Heads - 1) / c.Heads
+
+	// Encoder.
+	srcTokens := batch * c.SrcLen
+	encLast := g.Add(kernels.NewEmbedding(srcTokens, c.Hidden, c.Vocab))
+	for i := 0; i < c.EncLayers; i++ {
+		encLast = c.attnBlock(g, encLast, batch, srcTokens, c.SrcLen, c.SrcLen, d, false)
+		encLast = c.ffnBlock(g, encLast, srcTokens)
+	}
+	encOut := g.Add(kernels.NewLayerNorm(srcTokens, c.Hidden), encLast)
+
+	// Decoder: self-attention over the target, cross-attention into the
+	// encoder output, FFN.
+	tgtTokens := batch * c.TgtLen
+	decLast := g.Add(kernels.NewEmbedding(tgtTokens, c.Hidden, c.Vocab))
+	for i := 0; i < c.DecLayers; i++ {
+		decLast = c.attnBlock(g, decLast, batch, tgtTokens, c.TgtLen, c.TgtLen, d, false)
+		decLast = c.crossAttnBlock(g, decLast, encOut, batch, tgtTokens, d)
+		decLast = c.ffnBlock(g, decLast, tgtTokens)
+	}
+	final := g.Add(kernels.NewLayerNorm(tgtTokens, c.Hidden), decLast)
+	g.Add(kernels.NewLinear(tgtTokens, c.Hidden, c.Vocab), final)
+}
+
+// attnBlock emits LN + QKV + attention + projection + residual.
+func (c EncoderDecoderConfig) attnBlock(g *graph.Graph, in, batch, tokens, qLen, kvLen, headDim int, _ bool) int {
+	rows := batch * c.Heads
+	ln := g.Add(kernels.NewLayerNorm(tokens, c.Hidden), in)
+	qkv := g.Add(kernels.NewLinear(tokens, c.Hidden, 3*c.Hidden), ln)
+	scores := g.Add(kernels.NewBMM(rows, qLen, headDim, kvLen), qkv)
+	probs := g.Add(kernels.NewSoftmax(rows*qLen, kvLen), scores)
+	ctx := g.Add(kernels.NewBMM(rows, qLen, kvLen, headDim), probs)
+	proj := g.Add(kernels.NewLinear(tokens, c.Hidden, c.Hidden), ctx)
+	return g.Add(kernels.NewElementwise(kernels.OpEWAdd, tokens, c.Hidden), proj, in)
+}
+
+// crossAttnBlock emits the decoder's attention into the encoder output:
+// Q from the decoder stream, KV projected from the encoder output.
+func (c EncoderDecoderConfig) crossAttnBlock(g *graph.Graph, in, encOut, batch, tgtTokens, headDim int) int {
+	rows := batch * c.Heads
+	srcTokens := batch * c.SrcLen
+	ln := g.Add(kernels.NewLayerNorm(tgtTokens, c.Hidden), in)
+	q := g.Add(kernels.NewLinear(tgtTokens, c.Hidden, c.Hidden), ln)
+	kv := g.Add(kernels.NewLinear(srcTokens, c.Hidden, 2*c.Hidden), encOut)
+	scores := g.Add(kernels.NewBMM(rows, c.TgtLen, headDim, c.SrcLen), q, kv)
+	probs := g.Add(kernels.NewSoftmax(rows*c.TgtLen, c.SrcLen), scores)
+	ctx := g.Add(kernels.NewBMM(rows, c.TgtLen, c.SrcLen, headDim), probs)
+	proj := g.Add(kernels.NewLinear(tgtTokens, c.Hidden, c.Hidden), ctx)
+	return g.Add(kernels.NewElementwise(kernels.OpEWAdd, tgtTokens, c.Hidden), proj, in)
+}
+
+// ffnBlock emits LN + up/act/down + residual.
+func (c EncoderDecoderConfig) ffnBlock(g *graph.Graph, in, tokens int) int {
+	ln := g.Add(kernels.NewLayerNorm(tokens, c.Hidden), in)
+	up := g.Add(kernels.NewLinear(tokens, c.Hidden, c.FFN), ln)
+	act := g.Add(kernels.NewElementwise(kernels.OpEWReLU, tokens, c.FFN), up)
+	down := g.Add(kernels.NewLinear(tokens, c.FFN, c.Hidden), act)
+	return g.Add(kernels.NewElementwise(kernels.OpEWAdd, tokens, c.Hidden), down, in)
+}
+
+// LlamaConfig describes a Llama-style decoder: RMSNorm in place of
+// LayerNorm (same predictor category — a row-wise normalization), rotary
+// position embeddings applied elementwise to Q/K, and a SwiGLU FFN with
+// three projections.
+type LlamaConfig struct {
+	Name   string
+	Layers int
+	Heads  int
+	Hidden int
+	FFN    int // SwiGLU intermediate width (~8/3 x hidden, rounded)
+	SeqLen int
+	Vocab  int
+}
+
+// Llama7B returns the 7B-class configuration.
+func Llama7B() LlamaConfig {
+	return LlamaConfig{
+		Name: "Llama-7B", Layers: 32, Heads: 32, Hidden: 4096,
+		FFN: 11008, SeqLen: 2048, Vocab: 32000,
+	}
+}
+
+// InferenceGraph builds the prefill forward graph.
+func (c LlamaConfig) InferenceGraph(batch int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("%s/b%d/infer", c.Name, batch))
+	c.buildForward(g, batch)
+	return g
+}
+
+// TrainingGraph builds the forward+backward graph.
+func (c LlamaConfig) TrainingGraph(batch int) *graph.Graph {
+	fwd := graph.New(fmt.Sprintf("%s/b%d", c.Name, batch))
+	c.buildForward(fwd, batch)
+	return graph.Backward(fwd)
+}
+
+func (c LlamaConfig) buildForward(g *graph.Graph, batch int) {
+	if batch <= 0 {
+		panic("models: batch must be positive")
+	}
+	tokens := batch * c.SeqLen
+	h := c.Hidden
+	d := (h + c.Heads - 1) / c.Heads
+	rows := batch * c.Heads
+
+	last := g.Add(kernels.NewEmbedding(tokens, h, c.Vocab))
+	for i := 0; i < c.Layers; i++ {
+		// Attention with rotary embeddings.
+		norm := g.Add(kernels.NewLayerNorm(tokens, h), last) // RMSNorm
+		qkv := g.Add(kernels.NewLinear(tokens, h, 3*h), norm)
+		rope := g.Add(kernels.NewElementwise(kernels.OpEWMul, tokens, 2*h), qkv) // rotate Q and K
+		scores := g.Add(kernels.NewBMM(rows, c.SeqLen, d, c.SeqLen), rope)
+		probs := g.Add(kernels.NewSoftmax(rows*c.SeqLen, c.SeqLen), scores)
+		ctx := g.Add(kernels.NewBMM(rows, c.SeqLen, c.SeqLen, d), probs)
+		proj := g.Add(kernels.NewLinear(tokens, h, h), ctx)
+		res1 := g.Add(kernels.NewElementwise(kernels.OpEWAdd, tokens, h), proj, last)
+
+		// SwiGLU FFN: gate and up projections, SiLU gate, elementwise
+		// product, down projection.
+		norm2 := g.Add(kernels.NewLayerNorm(tokens, h), res1)
+		gate := g.Add(kernels.NewLinear(tokens, h, c.FFN), norm2)
+		up := g.Add(kernels.NewLinear(tokens, h, c.FFN), norm2)
+		silu := g.Add(kernels.NewElementwise(kernels.OpEWTanh, tokens, c.FFN), gate)
+		prod := g.Add(kernels.NewElementwise(kernels.OpEWMul, tokens, c.FFN), silu, up)
+		down := g.Add(kernels.NewLinear(tokens, c.FFN, h), prod)
+		last = g.Add(kernels.NewElementwise(kernels.OpEWAdd, tokens, h), down, res1)
+	}
+	final := g.Add(kernels.NewLayerNorm(tokens, h), last)
+	g.Add(kernels.NewLinear(tokens, h, c.Vocab), final)
+}
+
+// NumParams estimates the Llama parameter count.
+func (c LlamaConfig) NumParams() float64 {
+	h := float64(c.Hidden)
+	perLayer := 4*h*h + 3*h*float64(c.FFN)
+	return float64(c.Layers)*perLayer + float64(c.Vocab)*h
+}

@@ -1,0 +1,58 @@
+package network
+
+// Hierarchy models the multi-level fabric of the paper's Table 9 study:
+// nodes are "connected hierarchically across levels consisting of 4, 384,
+// 768, and up to 3840 nodes". The first level (groups of FastGroupSize
+// nodes) rides the high-speed server-class fabric; above it, group leaders
+// form a single ring over the InfiniBand links. Because the ring volume
+// factor 2(m-1)/m saturates quickly, cost jumps when the InfiniBand level
+// engages and then grows only mildly with scale — the shape of Table 9.
+type Hierarchy struct {
+	FastGroupSize int     // nodes per first-level group
+	FastBWGBs     float64 // first-level per-node bandwidth
+	UpperBWGBs    float64 // InfiniBand per-node bandwidth above level 1
+	// Util is the link utilization applied at every level (calibrated the
+	// same way as the intra-server Model).
+	Util float64
+}
+
+// Table9Hierarchy returns the topology of the paper's experiment: groups
+// of 4 nodes on the fast fabric, 100 Gbps InfiniBand (12.5 GB/s) above.
+func Table9Hierarchy(util float64) Hierarchy {
+	return Hierarchy{FastGroupSize: 4, FastBWGBs: 200, UpperBWGBs: 12.5, Util: util}
+}
+
+// AllReduceMs predicts a hierarchical ring all-reduce of bytes across
+// nodes: rings within each fast group, then one ring across group leaders
+// on InfiniBand, then redistribution within groups (folded into the first
+// term's 2(m-1) steps).
+func (h Hierarchy) AllReduceMs(bytes float64, nodes int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	total := 0.0
+	fast := h.FastGroupSize
+	if fast < 1 {
+		fast = 1
+	}
+	members := fast
+	if members > nodes {
+		members = nodes
+	}
+	if members > 1 {
+		total += ringTime(bytes, members, h.FastBWGBs*h.Util)
+	}
+	leaders := (nodes + fast - 1) / fast
+	if leaders > 1 {
+		total += ringTime(bytes, leaders, h.UpperBWGBs*h.Util)
+	}
+	return total
+}
+
+// ringTime is one ring all-reduce pass: 2(m-1) steps of bytes/m plus hop
+// latency per step.
+func ringTime(bytes float64, m int, effGBs float64) float64 {
+	steps := float64(2 * (m - 1))
+	perStep := bytes / float64(m) / (effGBs * 1e9) * 1e3
+	return steps * (perStep + hopLatencyMs)
+}

@@ -1,0 +1,105 @@
+// Package network models intra-server GPU interconnects and multi-node
+// fabrics (paper Section 5.1 and 6.3). Like internal/gpusim, it has two
+// faces:
+//
+//   - Sim is the measurement substrate: it computes "real" collective
+//     latencies using hidden per-interconnect efficiencies that stand in
+//     for NCCL behavior on NVLink meshes, DGX switchboards, and InfiniBand
+//     fat-trees.
+//   - Model is the predictor side: following the paper, it measures the
+//     link utilization of one existing reference system and applies that
+//     utilization to the *peak* link bandwidth of the target system.
+//
+// Collectives follow the standard ring formulations: an all-reduce moves
+// 2(n-1)/n of the tensor over the slowest link; a send/recv moves the
+// tensor once.
+package network
+
+import (
+	"hash/fnv"
+
+	"neusight/internal/gpu"
+)
+
+// hopLatencyMs is the per-hop software+link latency of one ring step.
+const hopLatencyMs = 5e-3 // 5us
+
+// hiddenLinkEff returns the fraction of peak link bandwidth the simulated
+// interconnect sustains. DGX-class switch fabrics run closer to peak than
+// point-to-point NVLink meshes; the name hash adds per-system variation.
+func hiddenLinkEff(srv gpu.ServerSpec) float64 {
+	base := 0.70
+	switch srv.Interconn {
+	case "DGX":
+		base = 0.78
+	case "NVLink":
+		base = 0.70
+	}
+	f := fnv.New64a()
+	f.Write([]byte(srv.Name))
+	j := 2*float64(f.Sum64()%1_000_000)/1_000_000 - 1
+	return base + 0.04*j
+}
+
+// Sim is the ground-truth network simulator.
+type Sim struct{}
+
+// NewSim returns the measurement-side network simulator.
+func NewSim() *Sim { return &Sim{} }
+
+// effBWGBs returns the sustained GB/s of srv's links.
+func (s *Sim) effBWGBs(srv gpu.ServerSpec) float64 {
+	return srv.LinkBWGBs * hiddenLinkEff(srv)
+}
+
+// AllReduceMs returns the measured latency of a ring all-reduce of bytes
+// across all GPUs of srv.
+func (s *Sim) AllReduceMs(bytes float64, srv gpu.ServerSpec) float64 {
+	return ringAllReduceMs(bytes, srv.NumGPUs, s.effBWGBs(srv))
+}
+
+// SendRecvMs returns the measured latency of a point-to-point activation
+// transfer of bytes between two GPUs of srv.
+func (s *Sim) SendRecvMs(bytes float64, srv gpu.ServerSpec) float64 {
+	return bytes/(s.effBWGBs(srv)*1e9)*1e3 + hopLatencyMs
+}
+
+// MeasuredLinkUtilization reports the sustained/peak ratio of srv — what
+// the paper measures on the in-hand system to calibrate its model.
+func (s *Sim) MeasuredLinkUtilization(srv gpu.ServerSpec) float64 {
+	return hiddenLinkEff(srv)
+}
+
+// Model is the predictor-side link model: peak bandwidth of the target
+// scaled by the utilization calibrated on a reference system.
+type Model struct {
+	// Util is the link utilization carried over from the reference system.
+	Util float64
+}
+
+// Calibrate measures the reference system's link utilization with sim and
+// returns a Model applying it to any target (paper Section 5.1).
+func Calibrate(sim *Sim, ref gpu.ServerSpec) Model {
+	return Model{Util: sim.MeasuredLinkUtilization(ref)}
+}
+
+// AllReduceMs predicts a ring all-reduce of bytes across srv's GPUs.
+func (m Model) AllReduceMs(bytes float64, srv gpu.ServerSpec) float64 {
+	return ringAllReduceMs(bytes, srv.NumGPUs, srv.LinkBWGBs*m.Util)
+}
+
+// SendRecvMs predicts a point-to-point transfer of bytes on srv.
+func (m Model) SendRecvMs(bytes float64, srv gpu.ServerSpec) float64 {
+	return bytes/(srv.LinkBWGBs*m.Util*1e9)*1e3 + hopLatencyMs
+}
+
+// ringAllReduceMs is the ring all-reduce cost model: 2(n-1) steps each
+// moving bytes/n at effGBs, plus per-step hop latency.
+func ringAllReduceMs(bytes float64, n int, effGBs float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := float64(2 * (n - 1))
+	perStep := bytes / float64(n) / (effGBs * 1e9) * 1e3
+	return steps*perStep + steps*hopLatencyMs
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	ad "neusight/internal/autodiff"
+	"neusight/internal/mat"
+)
+
+// mlpState is the JSON wire form of a trained MLP.
+type mlpState struct {
+	Cfg     MLPConfig   `json:"cfg"`
+	Weights [][]float64 `json:"weights"`
+	Shapes  [][2]int    `json:"shapes"`
+}
+
+// MarshalJSON serializes the MLP architecture and weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	st := mlpState{Cfg: m.Cfg}
+	for _, p := range m.Params() {
+		w := make([]float64, len(p.Data.Data))
+		copy(w, p.Data.Data)
+		st.Weights = append(st.Weights, w)
+		st.Shapes = append(st.Shapes, [2]int{p.Data.Rows, p.Data.Cols})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON restores an MLP previously produced by MarshalJSON.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var st mlpState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	fresh := &MLP{Cfg: st.Cfg}
+	fresh.layers = append(fresh.layers, zeroLinear(st.Cfg.In, st.Cfg.Hidden))
+	for i := 1; i < st.Cfg.Layers; i++ {
+		fresh.layers = append(fresh.layers, zeroLinear(st.Cfg.Hidden, st.Cfg.Hidden))
+	}
+	fresh.layers = append(fresh.layers, zeroLinear(st.Cfg.Hidden, st.Cfg.Out))
+	ps := fresh.Params()
+	if len(ps) != len(st.Weights) {
+		return fmt.Errorf("nn: weight count %d does not match architecture (%d tensors)", len(st.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if st.Shapes[i] != [2]int{p.Data.Rows, p.Data.Cols} {
+			return fmt.Errorf("nn: tensor %d shape %v does not match %dx%d", i, st.Shapes[i], p.Data.Rows, p.Data.Cols)
+		}
+		if len(st.Weights[i]) != len(p.Data.Data) {
+			return fmt.Errorf("nn: tensor %d length %d does not match %d", i, len(st.Weights[i]), len(p.Data.Data))
+		}
+		copy(p.Data.Data, st.Weights[i])
+	}
+	*m = *fresh
+	return nil
+}
+
+func zeroLinear(in, out int) *Linear {
+	return &Linear{
+		W: ad.NewVariable(mat.New(in, out)),
+		B: ad.NewVariable(mat.New(1, out)),
+	}
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	ad "neusight/internal/autodiff"
+	"neusight/internal/mat"
+)
+
+// TransformerConfig describes the transformer regressor from the "larger
+// predictors" study (paper Table 1, following Prime). Each scalar input
+// feature becomes one token via a learned per-feature embedding; encoder
+// blocks attend across the feature tokens; the pooled representation is
+// regressed to a single output.
+type TransformerConfig struct {
+	Features int // number of scalar input features (= tokens)
+	DModel   int // embedding width
+	Heads    int // attention heads (must divide DModel)
+	Layers   int // encoder blocks
+	FFN      int // feed-forward hidden width
+}
+
+// Transformer is an encoder-only regressor over feature tokens.
+type Transformer struct {
+	Cfg TransformerConfig
+
+	embedW *ad.Value // Features x DModel: per-feature scale embedding
+	embedB *ad.Value // Features x DModel: per-feature position embedding
+	blocks []*encoderBlock
+	headW  *Linear // DModel -> 1
+}
+
+type encoderBlock struct {
+	wq, wk, wv, wo *Linear
+	ln1g, ln1b     *ad.Value
+	ln2g, ln2b     *ad.Value
+	ff1, ff2       *Linear
+	heads          int
+}
+
+// NewTransformer builds a transformer regressor per cfg.
+func NewTransformer(rng *rand.Rand, cfg TransformerConfig) *Transformer {
+	if cfg.DModel%cfg.Heads != 0 {
+		panic("nn: DModel must be divisible by Heads")
+	}
+	t := &Transformer{Cfg: cfg}
+	t.embedW = ad.NewVariable(mat.RandN(rng, cfg.Features, cfg.DModel, 0.5))
+	t.embedB = ad.NewVariable(mat.RandN(rng, cfg.Features, cfg.DModel, 0.1))
+	for i := 0; i < cfg.Layers; i++ {
+		ones := mat.New(1, cfg.DModel)
+		ones.Fill(1)
+		ones2 := ones.Clone()
+		t.blocks = append(t.blocks, &encoderBlock{
+			wq: NewLinear(rng, cfg.DModel, cfg.DModel), wk: NewLinear(rng, cfg.DModel, cfg.DModel),
+			wv: NewLinear(rng, cfg.DModel, cfg.DModel), wo: NewLinear(rng, cfg.DModel, cfg.DModel),
+			ln1g: ad.NewVariable(ones), ln1b: ad.NewVariable(mat.New(1, cfg.DModel)),
+			ln2g: ad.NewVariable(ones2), ln2b: ad.NewVariable(mat.New(1, cfg.DModel)),
+			ff1: NewLinear(rng, cfg.DModel, cfg.FFN), ff2: NewLinear(rng, cfg.FFN, cfg.DModel),
+			heads: cfg.Heads,
+		})
+	}
+	t.headW = NewLinear(rng, cfg.DModel, 1)
+	return t
+}
+
+// forwardSample runs one sample's token matrix (Features x DModel pipeline).
+func (t *Transformer) forwardSample(features []float64) *ad.Value {
+	// tokens[i] = embedW[i] * feature_i + embedB[i]
+	f := mat.New(t.Cfg.Features, t.Cfg.DModel)
+	for i := 0; i < t.Cfg.Features; i++ {
+		row := f.Row(i)
+		for j := range row {
+			row[j] = features[i]
+		}
+	}
+	tokens := ad.Add(ad.Mul(ad.NewConstant(f), t.embedW), t.embedB)
+	for _, b := range t.blocks {
+		tokens = b.forward(tokens)
+	}
+	// Mean-pool tokens, then regress. Pooling via constant 1/F row selector.
+	pool := mat.New(1, t.Cfg.Features)
+	pool.Fill(1 / float64(t.Cfg.Features))
+	pooled := ad.MatMul(ad.NewConstant(pool), tokens) // 1 x DModel
+	return t.headW.Forward(pooled)                    // 1 x 1
+}
+
+func (b *encoderBlock) forward(x *ad.Value) *ad.Value {
+	n := x.Data.Rows
+	d := x.Data.Cols
+	dh := d / b.heads
+	normed := ad.LayerNormRows(x, b.ln1g, b.ln1b, 1e-5)
+	q := b.wq.Forward(normed)
+	k := b.wk.Forward(normed)
+	v := b.wv.Forward(normed)
+	// Per-head attention via column-slice selector constants.
+	headsOut := make([]*ad.Value, b.heads)
+	scale := 1 / math.Sqrt(float64(dh))
+	for h := 0; h < b.heads; h++ {
+		sel := mat.New(d, dh)
+		for i := 0; i < dh; i++ {
+			sel.Set(h*dh+i, i, 1)
+		}
+		selC := ad.NewConstant(sel)
+		qh := ad.MatMul(q, selC)
+		kh := ad.MatMul(k, selC)
+		vh := ad.MatMul(v, selC)
+		scores := ad.Scale(ad.MatMul(qh, transposeVal(kh)), scale) // n x n
+		attn := ad.SoftmaxRows(scores)
+		headsOut[h] = ad.MatMul(attn, vh) // n x dh
+	}
+	// Concatenate heads back to n x d via scatter selectors.
+	concat := ad.MatMul(headsOut[0], ad.NewConstant(scatterSel(d, dh, 0)))
+	for h := 1; h < b.heads; h++ {
+		concat = ad.Add(concat, ad.MatMul(headsOut[h], ad.NewConstant(scatterSel(d, dh, h))))
+	}
+	x = ad.Add(x, b.wo.Forward(concat))
+	normed2 := ad.LayerNormRows(x, b.ln2g, b.ln2b, 1e-5)
+	ff := b.ff2.Forward(ad.ReLU(b.ff1.Forward(normed2)))
+	_ = n
+	return ad.Add(x, ff)
+}
+
+// transposeVal transposes through autodiff by two matmul identities; since we
+// need gradients, implement directly as an op-free trick: (Aᵀ) gradients are
+// handled by wrapping in a dedicated closure here.
+func transposeVal(a *ad.Value) *ad.Value {
+	return ad.TransposeOp(a)
+}
+
+func scatterSel(d, dh, h int) *mat.Matrix {
+	s := mat.New(dh, d)
+	for i := 0; i < dh; i++ {
+		s.Set(i, h*dh+i, 1)
+	}
+	return s
+}
+
+// Forward implements Module: each row of x is one sample's feature vector.
+func (t *Transformer) Forward(x *ad.Value) *ad.Value {
+	outs := make([]*ad.Value, x.Data.Rows)
+	for i := 0; i < x.Data.Rows; i++ {
+		outs[i] = t.forwardSample(x.Data.Row(i))
+	}
+	return ad.ConcatRows(outs)
+}
+
+// Params implements Module.
+func (t *Transformer) Params() []*ad.Value {
+	ps := []*ad.Value{t.embedW, t.embedB}
+	for _, b := range t.blocks {
+		ps = append(ps, b.wq.Params()...)
+		ps = append(ps, b.wk.Params()...)
+		ps = append(ps, b.wv.Params()...)
+		ps = append(ps, b.wo.Params()...)
+		ps = append(ps, b.ln1g, b.ln1b, b.ln2g, b.ln2b)
+		ps = append(ps, b.ff1.Params()...)
+		ps = append(ps, b.ff2.Params()...)
+	}
+	ps = append(ps, t.headW.Params()...)
+	return ps
+}

@@ -1,0 +1,102 @@
+// Package report renders human-readable breakdowns of a latency forecast:
+// per-operator-category shares (the view of paper Table 6) and the top
+// individual kernels — the first things a practitioner asks of a forecast.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+)
+
+// Breakdown summarizes a priced graph.
+type Breakdown struct {
+	TotalMs    float64
+	ByCategory []CategoryShare
+	TopKernels []KernelCost
+}
+
+// CategoryShare is one operator category's contribution.
+type CategoryShare struct {
+	Category kernels.Category
+	Ms       float64
+	Percent  float64
+	Count    int
+}
+
+// KernelCost is one kernel's aggregate cost across its occurrences.
+type KernelCost struct {
+	Label   string
+	Count   int
+	TotalMs float64
+	Percent float64
+}
+
+// Analyze prices every kernel of gr with kernelLat and produces the
+// breakdown, keeping the topN most expensive distinct kernels.
+func Analyze(gr *graph.Graph, kernelLat func(kernels.Kernel) float64, topN int) Breakdown {
+	var b Breakdown
+	catMs := map[kernels.Category]float64{}
+	catN := map[kernels.Category]int{}
+	kernMs := map[string]float64{}
+	kernN := map[string]int{}
+	for _, k := range gr.Kernels() {
+		if k.Category() == kernels.CatNetwork {
+			continue
+		}
+		ms := kernelLat(k)
+		b.TotalMs += ms
+		catMs[k.Category()] += ms
+		catN[k.Category()]++
+		kernMs[k.Label()] += ms
+		kernN[k.Label()]++
+	}
+	for cat, ms := range catMs {
+		b.ByCategory = append(b.ByCategory, CategoryShare{
+			Category: cat, Ms: ms, Percent: safePct(ms, b.TotalMs), Count: catN[cat],
+		})
+	}
+	sort.Slice(b.ByCategory, func(i, j int) bool { return b.ByCategory[i].Ms > b.ByCategory[j].Ms })
+
+	for label, ms := range kernMs {
+		b.TopKernels = append(b.TopKernels, KernelCost{
+			Label: label, Count: kernN[label], TotalMs: ms, Percent: safePct(ms, b.TotalMs),
+		})
+	}
+	sort.Slice(b.TopKernels, func(i, j int) bool {
+		if b.TopKernels[i].TotalMs != b.TopKernels[j].TotalMs {
+			return b.TopKernels[i].TotalMs > b.TopKernels[j].TotalMs
+		}
+		return b.TopKernels[i].Label < b.TopKernels[j].Label
+	})
+	if topN > 0 && len(b.TopKernels) > topN {
+		b.TopKernels = b.TopKernels[:topN]
+	}
+	return b
+}
+
+func safePct(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return part / total * 100
+}
+
+// Render formats the breakdown as aligned text.
+func (b Breakdown) Render() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "total predicted latency: %.1f ms\n\nby operator category:\n", b.TotalMs)
+	for _, c := range b.ByCategory {
+		fmt.Fprintf(&s, "  %-8s %9.2f ms  %5.1f%%  (%d kernels)\n", c.Category, c.Ms, c.Percent, c.Count)
+	}
+	if len(b.TopKernels) > 0 {
+		s.WriteString("\ntop kernels:\n")
+		for _, k := range b.TopKernels {
+			fmt.Fprintf(&s, "  %-42s x%-4d %9.2f ms  %5.1f%%\n", k.Label, k.Count, k.TotalMs, k.Percent)
+		}
+	}
+	return s.String()
+}

@@ -1,0 +1,125 @@
+package tile
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sync"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// Record is one profiled tile observation: which tile the library chose for
+// a kernel shape on a GPU, keyed by the features NeuSight may legitimately
+// use at prediction time.
+type Record struct {
+	Op       kernels.Op `json:"op"`
+	Dims     []int      `json:"dims"` // kernel output dims
+	SMs      int        `json:"sms"`
+	L2MB     float64    `json:"l2_mb"`
+	PeakTF   float64    `json:"peak_tflops"`
+	MemBWGBs float64    `json:"mem_bw_gbs"`
+	Tile     []int      `json:"tile"`
+}
+
+// DB stores profiled tile records and answers nearest-match queries. It is
+// safe for concurrent lookup after loading; Add may race with Lookup and is
+// guarded.
+type DB struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{} }
+
+// Add records the tile observed for kernel k on device g.
+func (db *DB) Add(k kernels.Kernel, g gpu.Spec, t Tile) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records = append(db.records, Record{
+		Op: k.Op, Dims: append([]int(nil), k.OutputDims()...),
+		SMs: g.SMs, L2MB: g.L2CacheMB, PeakTF: g.PeakFLOPS, MemBWGBs: g.MemoryBWGBs,
+		Tile: append([]int(nil), t.Dims...),
+	})
+}
+
+// Len reports the number of stored records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// Lookup returns the tile of the nearest recorded kernel by log-space
+// distance over (output dims, GPU features), restricted to the same
+// predictor category (the paper matches on kernel name first). The boolean
+// is false when the database holds no record of that category with the
+// same output rank.
+func (db *DB) Lookup(k kernels.Kernel, g gpu.Spec) (Tile, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	dims := k.OutputDims()
+	cat := k.Category()
+	best := -1
+	bestDist := math.Inf(1)
+	for i, r := range db.records {
+		if kernels.Categorize(r.Op) != cat || len(r.Dims) != len(dims) {
+			continue
+		}
+		d := 0.0
+		for j := range dims {
+			d += sqDiffLog(float64(dims[j]), float64(r.Dims[j]))
+		}
+		d += sqDiffLog(float64(g.SMs), float64(r.SMs))
+		d += sqDiffLog(g.L2CacheMB, r.L2MB)
+		d += sqDiffLog(g.PeakFLOPS, r.PeakTF)
+		d += sqDiffLog(g.MemoryBWGBs, r.MemBWGBs)
+		if d < bestDist {
+			bestDist, best = d, i
+		}
+	}
+	if best < 0 {
+		return Tile{}, false
+	}
+	return Tile{Dims: append([]int(nil), db.records[best].Tile...)}, true
+}
+
+// LookupOrSelect resolves the tile for k on g from profiled data, falling
+// back to the library heuristic when the database has no usable record.
+func (db *DB) LookupOrSelect(k kernels.Kernel, g gpu.Spec) Tile {
+	if t, ok := db.Lookup(k, g); ok {
+		return t
+	}
+	return Select(k, g)
+}
+
+func sqDiffLog(a, b float64) float64 {
+	d := math.Log1p(a) - math.Log1p(b)
+	return d * d
+}
+
+// Save writes the database as JSON to path.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	data, err := json.MarshalIndent(db.records, "", " ")
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDB reads a database previously written by Save.
+func LoadDB(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, err
+	}
+	return &DB{records: recs}, nil
+}

@@ -1,0 +1,114 @@
+// Package tile implements the tiling layer of the framework: the
+// CUTLASS-style heuristic that GPU libraries use to pick a thread-block tile
+// for each kernel, the wave arithmetic of paper Eq. 2-3, and the tile
+// database that NeuSight consults at prediction time (paper Section 6.1:
+// tile sizes are recorded during profiling and recovered by nearest-match
+// lookup on kernel name, input dimensions, and GPU features).
+package tile
+
+import (
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// Tile is the per-output-dimension tile shape selected for a kernel. Its
+// length always matches the kernel's OutputDims.
+type Tile struct {
+	Dims []int
+}
+
+// gemmCandidates are the thread-block tiles CUTLASS-like libraries choose
+// from, largest first ("typical tile dimensions used by GEMM library ranges
+// from 32 to 256", paper Section 4.2).
+var gemmCandidates = [][2]int{
+	{256, 128}, {128, 256}, {128, 128},
+	{128, 64}, {64, 128}, {64, 64},
+	{64, 32}, {32, 64}, {32, 32},
+}
+
+// Select picks the tile a tuned GPU library would dispatch for k on g.
+// The heuristic mirrors CUTLASS's behavior for batched GEMM: the tile is
+// chosen from the per-matrix (M, N) shape — the largest candidate that fits
+// without padding waste — while the batch dimension maps onto the grid.
+// This keeps the choice independent of batch size, which is what makes
+// latency scale in discrete waves as batch grows (paper Fig. 4-5).
+func Select(k kernels.Kernel, g gpu.Spec) Tile {
+	dims := k.OutputDims()
+	switch k.Category() {
+	case kernels.CatBMM, kernels.CatLinear:
+		m, n := dims[len(dims)-2], dims[len(dims)-1]
+		for _, c := range gemmCandidates {
+			if c[0] <= m && c[1] <= n {
+				return padTile(dims, c[0], c[1])
+			}
+		}
+		// Matrices smaller than the smallest tile still occupy one block.
+		return padTile(dims, 32, 32)
+	case kernels.CatSoftmax, kernels.CatLayerNorm:
+		// Row-wise reductions: one thread block handles one row (capped at
+		// the library's max block footprint).
+		cols := dims[1]
+		if cols > 4096 {
+			cols = 4096
+		}
+		return Tile{Dims: []int{1, cols}}
+	default:
+		// Elementwise and memory-bound ops: fixed-size flat blocks.
+		cols := dims[1]
+		if cols > 1024 {
+			cols = 1024
+		}
+		return Tile{Dims: []int{1, cols}}
+	}
+}
+
+// padTile builds a GEMM tile matching the rank of dims (batch dim tiled
+// at 1).
+func padTile(dims []int, tm, tn int) Tile {
+	if len(dims) == 3 {
+		return Tile{Dims: []int{1, tm, tn}}
+	}
+	return Tile{Dims: []int{tm, tn}}
+}
+
+// NumTiles evaluates paper Eq. 2: the product over output dimensions of
+// ceil(x_i / t_i).
+func NumTiles(dims []int, t Tile) int {
+	if len(dims) != len(t.Dims) {
+		panic("tile: rank mismatch between output dims and tile")
+	}
+	n := 1
+	for i, x := range dims {
+		n *= ceilDiv(x, t.Dims[i])
+	}
+	return n
+}
+
+// NumWaves evaluates paper Eq. 3: ceil(numTiles / numSMs).
+func NumWaves(numTiles, sms int) int {
+	return ceilDiv(numTiles, sms)
+}
+
+// Waves is the composed convenience: select nothing, just count waves for a
+// kernel already assigned tile t on g.
+func Waves(k kernels.Kernel, t Tile, g gpu.Spec) int {
+	return NumWaves(NumTiles(k.OutputDims(), t), g.SMs)
+}
+
+// FLOPsPerTile divides the kernel's FLOPs evenly over its tiles, matching
+// the identical-tile decomposition of Section 4.2.
+func FLOPsPerTile(k kernels.Kernel, t Tile) float64 {
+	return k.FLOPs() / float64(NumTiles(k.OutputDims(), t))
+}
+
+// MemPerTile divides the kernel's memory traffic evenly over its tiles.
+func MemPerTile(k kernels.Kernel, t Tile) float64 {
+	return k.MemBytes() / float64(NumTiles(k.OutputDims(), t))
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("tile: non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

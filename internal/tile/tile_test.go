@@ -1,0 +1,227 @@
+package tile
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+func TestSelectLargeGEMMUsesBigTiles(t *testing.T) {
+	g := gpu.MustLookup("V100")
+	k := kernels.NewBMM(8, 2048, 2048, 2048)
+	tl := Select(k, g)
+	if len(tl.Dims) != 3 || tl.Dims[0] != 1 {
+		t.Fatalf("BMM tile rank/batch wrong: %v", tl.Dims)
+	}
+	if tl.Dims[1]*tl.Dims[2] < 128*128 {
+		t.Fatalf("large GEMM picked small tile %v", tl.Dims)
+	}
+}
+
+func TestSelectSmallGEMMShrinksTiles(t *testing.T) {
+	g := gpu.MustLookup("V100")
+	big := Select(kernels.NewBMM(64, 4096, 64, 4096), g)
+	small := Select(kernels.NewBMM(1, 64, 64, 64), g)
+	if small.Dims[1]*small.Dims[2] > big.Dims[1]*big.Dims[2] {
+		t.Fatalf("small GEMM tile %v larger than big GEMM tile %v", small.Dims, big.Dims)
+	}
+	if small.Dims[1] > 64 || small.Dims[2] > 64 {
+		t.Fatalf("tiny GEMM should use tiles <= 64: %v", small.Dims)
+	}
+}
+
+func TestSelectFitsWithoutPaddingWaste(t *testing.T) {
+	// The chosen GEMM tile never exceeds the matrix along either axis
+	// unless the matrix is smaller than the smallest candidate.
+	g := gpu.MustLookup("H100")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(4096), 1+r.Intn(4096)
+		tl := Select(kernels.NewBMM(1+r.Intn(16), m, 64, n), g)
+		tm, tn := tl.Dims[1], tl.Dims[2]
+		fits := tm <= m && tn <= n
+		tiny := m < 32 || n < 32
+		return fits || (tiny && tm == 32 && tn == 32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectBatchIndependent(t *testing.T) {
+	// Batched GEMM libraries keep the tile fixed as batch grows; the batch
+	// dimension maps onto the grid (so waves grow smoothly, paper Fig. 5).
+	g := gpu.MustLookup("V100")
+	base := Select(kernels.NewBMM(1, 256, 256, 256), g)
+	for _, b := range []int{2, 17, 100, 300} {
+		tl := Select(kernels.NewBMM(b, 256, 256, 256), g)
+		if tl.Dims[1] != base.Dims[1] || tl.Dims[2] != base.Dims[2] {
+			t.Fatalf("tile changed with batch %d: %v vs %v", b, tl.Dims, base.Dims)
+		}
+	}
+}
+
+func TestSelectRowwiseOps(t *testing.T) {
+	g := gpu.MustLookup("A100-40GB")
+	sm := Select(kernels.NewSoftmax(8192, 2048), g)
+	if sm.Dims[0] != 1 || sm.Dims[1] != 2048 {
+		t.Fatalf("softmax tile = %v, want one row", sm.Dims)
+	}
+	huge := Select(kernels.NewSoftmax(8192, 100000), g)
+	if huge.Dims[1] != 4096 {
+		t.Fatalf("softmax tile cap = %v, want 4096", huge.Dims)
+	}
+	ew := Select(kernels.NewElementwise(kernels.OpEWAdd, 8192, 4096), g)
+	if ew.Dims[1] != 1024 {
+		t.Fatalf("elementwise tile = %v, want 1024-wide blocks", ew.Dims)
+	}
+}
+
+func TestNumTilesAndWaves(t *testing.T) {
+	// paper Fig. 3: 4x4 output with 2x2 tiles -> 4 tiles.
+	if got := NumTiles([]int{4, 4}, Tile{Dims: []int{2, 2}}); got != 4 {
+		t.Fatalf("NumTiles = %d, want 4", got)
+	}
+	// Ragged division rounds up.
+	if got := NumTiles([]int{5, 4}, Tile{Dims: []int{2, 2}}); got != 6 {
+		t.Fatalf("NumTiles ragged = %d, want 6", got)
+	}
+	if got := NumWaves(9, 4); got != 3 {
+		t.Fatalf("NumWaves = %d, want 3", got)
+	}
+	if got := NumWaves(8, 4); got != 2 {
+		t.Fatalf("NumWaves exact = %d, want 2", got)
+	}
+}
+
+// Property: the tile decomposition always covers the output — numTiles
+// times the tile volume is at least the output volume (paper Eq. 2).
+func TestTileCoverageProperty(t *testing.T) {
+	gpus := gpu.All()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gpus[r.Intn(len(gpus))]
+		k := kernels.NewBMM(1+r.Intn(32), 1+r.Intn(4096), 1+r.Intn(4096), 1+r.Intn(4096))
+		tl := Select(k, g)
+		tiles := NumTiles(k.OutputDims(), tl)
+		tileVol, outVol := 1, 1
+		for i, d := range k.OutputDims() {
+			tileVol *= tl.Dims[i]
+			outVol *= d
+		}
+		return tiles*tileVol >= outVol && tiles >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: waves never decrease when the batch grows (more tiles need more
+// waves on the same SM count).
+func TestWavesMonotoneInBatch(t *testing.T) {
+	g := gpu.MustLookup("V100")
+	prev := 0
+	for b := 1; b <= 300; b += 7 {
+		k := kernels.NewBMM(b, 256, 256, 256)
+		w := Waves(k, Select(k, g), g)
+		if w < prev {
+			t.Fatalf("waves decreased at batch %d: %d < %d", b, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestPerTileCosts(t *testing.T) {
+	g := gpu.MustLookup("T4")
+	k := kernels.NewBMM(2, 512, 512, 512)
+	tl := Select(k, g)
+	n := float64(NumTiles(k.OutputDims(), tl))
+	if got := FLOPsPerTile(k, tl) * n; got != k.FLOPs() {
+		t.Fatalf("per-tile flops don't sum back: %v vs %v", got, k.FLOPs())
+	}
+	if got := MemPerTile(k, tl) * n; got != k.MemBytes() {
+		t.Fatalf("per-tile bytes don't sum back: %v vs %v", got, k.MemBytes())
+	}
+}
+
+func TestDBExactAndNearestLookup(t *testing.T) {
+	db := NewDB()
+	v100 := gpu.MustLookup("V100")
+	k := kernels.NewBMM(4, 1024, 1024, 1024)
+	db.Add(k, v100, Tile{Dims: []int{1, 128, 128}})
+
+	// Exact kernel, same GPU.
+	got, ok := db.Lookup(k, v100)
+	if !ok || got.Dims[1] != 128 {
+		t.Fatalf("exact lookup = %v, %v", got, ok)
+	}
+	// Nearby kernel on an unseen GPU still resolves to the profiled tile.
+	h100 := gpu.MustLookup("H100")
+	near := kernels.NewBMM(4, 1100, 1024, 1000)
+	got, ok = db.Lookup(near, h100)
+	if !ok || got.Dims[1] != 128 {
+		t.Fatalf("nearest lookup = %v, %v", got, ok)
+	}
+}
+
+func TestDBCategoryIsolation(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("V100")
+	db.Add(kernels.NewSoftmax(1024, 512), g, Tile{Dims: []int{1, 512}})
+	// A BMM query must not match a softmax record.
+	if _, ok := db.Lookup(kernels.NewBMM(1, 512, 512, 512), g); ok {
+		t.Fatal("lookup crossed predictor categories")
+	}
+}
+
+func TestDBPrefersCloserRecord(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("V100")
+	db.Add(kernels.NewBMM(1, 64, 64, 64), g, Tile{Dims: []int{1, 32, 32}})
+	db.Add(kernels.NewBMM(1, 2048, 2048, 2048), g, Tile{Dims: []int{1, 128, 128}})
+	got, ok := db.Lookup(kernels.NewBMM(1, 1800, 2048, 2000), g)
+	if !ok || got.Dims[1] != 128 {
+		t.Fatalf("lookup = %v, want the large-GEMM record", got)
+	}
+	got, _ = db.Lookup(kernels.NewBMM(1, 48, 64, 80), g)
+	if got.Dims[1] != 32 {
+		t.Fatalf("lookup = %v, want the small-GEMM record", got)
+	}
+}
+
+func TestDBLookupOrSelectFallback(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("L4")
+	k := kernels.NewLayerNorm(4096, 1024)
+	tl := db.LookupOrSelect(k, g)
+	if want := Select(k, g); tl.Dims[1] != want.Dims[1] {
+		t.Fatalf("fallback tile = %v, want heuristic %v", tl.Dims, want.Dims)
+	}
+}
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("P100")
+	db.Add(kernels.NewBMM(2, 256, 256, 256), g, Tile{Dims: []int{1, 64, 64}})
+	db.Add(kernels.NewSoftmax(512, 512), g, Tile{Dims: []int{1, 512}})
+
+	path := filepath.Join(t.TempDir(), "tiles.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d records, want 2", back.Len())
+	}
+	got, ok := back.Lookup(kernels.NewBMM(2, 256, 256, 256), g)
+	if !ok || got.Dims[1] != 64 {
+		t.Fatalf("lookup after reload = %v, %v", got, ok)
+	}
+}
