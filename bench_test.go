@@ -16,9 +16,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"neusight/internal/experiments"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+	"neusight/internal/serve"
 )
 
 var (
@@ -150,4 +155,58 @@ func BenchmarkLabBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.NewLab(experiments.QuickLabConfig())
 	}
+}
+
+// BenchmarkServeThroughput measures the serving layer (internal/serve)
+// under a repeated workload: the kernels of a BERT-Large inference graph
+// queried round-robin from parallel clients, the traffic shape the LRU
+// prediction cache is built for. It reports sustained predictions/sec and
+// the cache hit rate — on repeats of a real graph the hit rate must be
+// well above zero, since transformer layers reuse identical kernel shapes.
+func BenchmarkServeThroughput(b *testing.B) {
+	l := lab(b)
+	svc := serve.New(l.NeuSight, serve.Config{CacheSize: serve.DefaultCacheSize})
+	g := gpu.MustLookup("H100")
+	m, err := models.Lookup("BERT-Large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := ks4bench(m.InferenceGraph(2).Kernels())
+	if len(ks) == 0 {
+		b.Fatal("no predictable kernels in the benchmark graph")
+	}
+
+	var idx atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ks[int(idx.Add(1))%len(ks)]
+			if _, err := svc.PredictKernel(k, g); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	st := svc.Stats()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(st.Requests)/secs, "predictions/sec")
+	}
+	b.ReportMetric(st.HitRate*100, "cache_hit_pct")
+	if b.N > len(ks) && st.HitRate == 0 {
+		b.Errorf("cache hit rate = 0 after %d requests over %d unique kernels", st.Requests, len(ks))
+	}
+}
+
+// ks4bench filters out network kernels, which the kernel predictor
+// rejects by design.
+func ks4bench(all []kernels.Kernel) []kernels.Kernel {
+	var ks []kernels.Kernel
+	for _, k := range all {
+		if k.Category() != kernels.CatNetwork {
+			ks = append(ks, k)
+		}
+	}
+	return ks
 }

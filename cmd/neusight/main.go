@@ -10,14 +10,17 @@
 //	neusight predict -model model.json -tiles tiles.json \
 //	                 -workload GPT3-XL -gpu H100 -batch 2 [-train] [-fused]
 //	neusight quick   -workload GPT3-XL -gpu H100 -batch 2
+//	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
-// fastest way to get a forecast.
+// fastest way to get a forecast. "serve" exposes a predictor as a
+// concurrent HTTP JSON API with prediction caching and request coalescing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"text/tabwriter"
 
@@ -29,6 +32,7 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/models"
 	"neusight/internal/report"
+	"neusight/internal/serve"
 	"neusight/internal/tile"
 )
 
@@ -49,6 +53,8 @@ func main() {
 		err = predict(os.Args[2:])
 	case "quick":
 		err = quick(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,7 +76,8 @@ commands:
   list-models   print the workload zoo (paper Table 5)
   train         train a predictor from a profiled dataset CSV
   predict       forecast a workload with a saved predictor
-  quick         train a reduced predictor in-process and forecast`)
+  quick         train a reduced predictor in-process and forecast
+  serve         run the concurrent HTTP prediction service`)
 }
 
 func listGPUs() error {
@@ -162,6 +169,12 @@ func quick(args []string) error {
 		return err
 	}
 	fmt.Println("profiling simulated training GPUs and training a reduced predictor...")
+	return forecast(quickPredictor(), *workload, *gpuName, *batch, *trainMode, *fused)
+}
+
+// quickPredictor profiles the simulated training GPUs and trains a reduced
+// in-process predictor — shared by the quick and serve subcommands.
+func quickPredictor() *core.Predictor {
 	tdb := tile.NewDB()
 	ds := dataset.Generate(dataset.GenConfig{
 		Seed: 42, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
@@ -171,7 +184,44 @@ func quick(args []string) error {
 		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256, LR: 3e-3, WeightDecay: 1e-4, Seed: 42,
 	}, tdb)
 	p.Train(ds)
-	return forecast(p, *workload, *gpuName, *batch, *trainMode, *fused)
+	return p
+}
+
+// serveCmd runs the HTTP prediction service: either around a predictor
+// saved by train (-model/-tiles) or a reduced one trained in-process
+// (-quick).
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "", "trained predictor path (from `neusight train`)")
+	tilePath := fs.String("tiles", "tiles.json", "tile database path")
+	quickTrain := fs.Bool("quick", false, "train a reduced predictor in-process instead of loading one")
+	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "prediction LRU cache size (entries; negative disables)")
+	workers := fs.Int("workers", 0, "max concurrent backend predictions (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var p *core.Predictor
+	switch {
+	case *quickTrain:
+		fmt.Println("training a reduced in-process predictor...")
+		p = quickPredictor()
+	case *modelPath != "":
+		tdb, err := tile.LoadDB(*tilePath)
+		if err != nil {
+			return err
+		}
+		p, err = core.Load(*modelPath, tdb)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("serve: pass -model (with -tiles) or -quick")
+	}
+	svc := serve.New(p, serve.Config{CacheSize: *cacheSize, Workers: *workers})
+	fmt.Printf("serving %s on %s (cache %d entries)\n", svc.Backend(), *addr, *cacheSize)
+	fmt.Println("endpoints: POST /v1/predict/kernel  POST /v1/predict/graph  GET /v1/healthz  GET /v1/stats")
+	return http.ListenAndServe(*addr, serve.NewHandler(svc))
 }
 
 func forecast(p *core.Predictor, workload, gpuName string, batch int, trainMode, fused bool) error {

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +15,7 @@ import (
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
 	"neusight/internal/gpusim"
+	"neusight/internal/serve"
 	"neusight/internal/tile"
 )
 
@@ -131,6 +136,75 @@ func TestTrainPredictRoundTripCLI(t *testing.T) {
 func TestTrainRequiresData(t *testing.T) {
 	if err := train([]string{}); err == nil {
 		t.Fatal("train without -data must error")
+	}
+}
+
+func TestServeCmdRequiresSource(t *testing.T) {
+	if err := serveCmd([]string{"-addr", ":0"}); err == nil {
+		t.Fatal("serve without -model or -quick must error")
+	}
+}
+
+// TestServeEndToEnd exercises the stack the serve subcommand assembles —
+// a real trained predictor behind serve.New and serve.NewHandler — through
+// an httptest server, the same wiring minus ListenAndServe.
+func TestServeEndToEnd(t *testing.T) {
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 9, BMM: 60, FC: 30, EW: 20, Softmax: 10, LN: 10,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := core.NewPredictor(core.Config{
+		Hidden: 24, Layers: 2, Epochs: 8, BatchSize: 128, LR: 3e-3, Seed: 9,
+	}, tdb)
+	p.Train(ds)
+
+	svc := serve.New(p, serve.Config{CacheSize: 256})
+	ts := httptest.NewServer(serve.NewHandler(svc))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// Two identical graph forecasts: within the first, duplicate kernels
+	// may coalesce rather than hit the cache (scheduling-dependent), but
+	// the second is guaranteed to be served from cache.
+	var gr serve.GraphResponse
+	for i := 0; i < 2; i++ {
+		body, _ := json.Marshal(serve.GraphRequest{Workload: "BERT-Large", GPU: "V100", Batch: 2})
+		resp, err = http.Post(ts.URL+"/v1/predict/graph", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || gr.LatencyMs <= 0 || gr.Kernels <= 0 {
+			t.Fatalf("graph forecast = %+v (status %d)", gr, resp.StatusCode)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests == 0 {
+		t.Error("stats show no requests after a graph forecast")
+	}
+	if st.HitRate == 0 {
+		t.Error("hit rate = 0: the repeated graph forecast must be served from cache")
 	}
 }
 

@@ -1,0 +1,3 @@
+module neusight
+
+go 1.21

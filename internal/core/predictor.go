@@ -41,15 +41,33 @@ func DefaultConfig() Config {
 
 // Predictor is a trained NeuSight instance: one utilization MLP per
 // operator category plus the tile database recorded during profiling.
+//
+// A trained Predictor is safe for concurrent PredictKernel / PredictGraph /
+// Utilization calls: the MLP and normalization maps are guarded against a
+// concurrent Train, and tile resolution deduplicates in-flight database
+// scans so identical kernels arriving together pay for one lookup.
 type Predictor struct {
 	Cfg    Config
 	TileDB *tile.DB
 
-	mlps  map[kernels.Category]*nn.MLP
-	stats map[kernels.Category]*featureStats
+	stateMu sync.RWMutex
+	mlps    map[kernels.Category]*nn.MLP
+	stats   map[kernels.Category]*featureStats
 
 	mu        sync.Mutex
-	tileCache map[string]tile.Tile
+	tileCache map[string]*tileEntry
+}
+
+// tileEntry is a singleflight slot in the tile cache: the first goroutine to
+// claim a key computes the tile and closes done; later arrivals wait on done
+// instead of re-scanning the database. gen records the tile database
+// generation the entry was resolved against, so entries go stale when Add
+// changes the record set; ok is false if the resolving goroutine panicked.
+type tileEntry struct {
+	done chan struct{}
+	t    tile.Tile
+	gen  uint64
+	ok   bool
 }
 
 // NewPredictor returns an untrained predictor that resolves tiles via tdb.
@@ -61,26 +79,59 @@ func NewPredictor(cfg Config, tdb *tile.DB) *Predictor {
 		Cfg: cfg, TileDB: tdb,
 		mlps:      map[kernels.Category]*nn.MLP{},
 		stats:     map[kernels.Category]*featureStats{},
-		tileCache: map[string]tile.Tile{},
+		tileCache: map[string]*tileEntry{},
 	}
 }
 
 // tileFor resolves the tile for k on g through a small cache: DNN graphs
 // repeat identical kernels across layers, and the nearest-match database
-// scan is the expensive step of a prediction.
+// scan is the expensive step of a prediction. Concurrent calls for the same
+// key coalesce onto a single database scan, and entries resolved against an
+// older database generation are re-resolved, so profiling that continues
+// after the first prediction still reaches the serving path.
 func (p *Predictor) tileFor(k kernels.Kernel, g gpu.Spec) tile.Tile {
-	key := k.Label() + "@" + g.Name
+	key := tile.QueryKey(k, g)
+	gen := p.TileDB.Generation()
 	p.mu.Lock()
-	t, ok := p.tileCache[key]
-	p.mu.Unlock()
-	if ok {
-		return t
+	e, found := p.tileCache[key]
+	if !found || (isClosed(e.done) && (e.gen != gen || !e.ok)) {
+		e = &tileEntry{done: make(chan struct{}), gen: gen}
+		p.tileCache[key] = e
+		p.mu.Unlock()
+		// Close done even if LookupOrSelect panics: a wedged entry would
+		// block every later caller of this key forever. Waiters see
+		// ok=false and resolve directly.
+		defer close(e.done)
+		e.t = p.TileDB.LookupOrSelect(k, g)
+		e.ok = true
+		return e.t
 	}
-	t = p.TileDB.LookupOrSelect(k, g)
-	p.mu.Lock()
-	p.tileCache[key] = t
 	p.mu.Unlock()
-	return t
+	<-e.done
+	if !e.ok {
+		return p.TileDB.LookupOrSelect(k, g)
+	}
+	return e.t
+}
+
+// isClosed reports whether done has been closed (i.e. the entry's resolver
+// finished). An in-flight entry is never replaced, even if stale: waiters
+// are already parked on it.
+func isClosed(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// model returns the trained MLP and feature stats for cat, or ok=false.
+func (p *Predictor) model(cat kernels.Category) (*nn.MLP, *featureStats, bool) {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	mlp, ok := p.mlps[cat]
+	return mlp, p.stats[cat], ok
 }
 
 // Name implements the predictor naming convention used by the harness.
@@ -159,8 +210,10 @@ func (p *Predictor) TrainCategory(cat kernels.Category, ds *dataset.Dataset) flo
 		}
 		final = total / float64(batches)
 	}
+	p.stateMu.Lock()
 	p.mlps[cat] = mlp
 	p.stats[cat] = &st
+	p.stateMu.Unlock()
 	return final
 }
 
@@ -182,7 +235,7 @@ func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 	if cat == kernels.CatNetwork {
 		return 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
 	}
-	mlp, ok := p.mlps[cat]
+	mlp, st, ok := p.model(cat)
 	if !ok {
 		if cat == kernels.CatMemoryBound {
 			return MemBoundLatency(k, g), nil
@@ -191,7 +244,7 @@ func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 	}
 	t := p.tileFor(k, g)
 	c, waves := latencyConstant(k, g, t)
-	f := p.stats[cat].apply(Features(k, g, t, waves))
+	f := st.apply(Features(k, g, t, waves))
 
 	x := ad.NewConstant(mat.FromSlice(1, NumFeatures, f))
 	cv := ad.NewConstant(mat.FromSlice(1, 1, []float64{c}))
@@ -203,13 +256,13 @@ func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 // g — useful for introspection and the Table 2 style analyses.
 func (p *Predictor) Utilization(k kernels.Kernel, g gpu.Spec) (float64, error) {
 	cat := k.Category()
-	mlp, ok := p.mlps[cat]
+	mlp, st, ok := p.model(cat)
 	if !ok {
 		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
 	}
 	t := p.tileFor(k, g)
 	_, waves := latencyConstant(k, g, t)
-	f := p.stats[cat].apply(Features(k, g, t, waves))
+	f := st.apply(Features(k, g, t, waves))
 	x := ad.NewConstant(mat.FromSlice(1, NumFeatures, f))
 	wv := ad.NewConstant(mat.FromSlice(1, 1, []float64{float64(waves)}))
 	return utilFromHeads(mlp.Forward(x), wv).Data.Data[0], nil
@@ -233,10 +286,12 @@ func (p *Predictor) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
 
 // TrainedCategories lists the categories with fitted MLPs, sorted.
 func (p *Predictor) TrainedCategories() []kernels.Category {
+	p.stateMu.RLock()
 	var cats []kernels.Category
 	for c := range p.mlps {
 		cats = append(cats, c)
 	}
+	p.stateMu.RUnlock()
 	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
 	return cats
 }
@@ -252,10 +307,12 @@ type predictorState struct {
 // tile database is saved separately via its own Save.
 func (p *Predictor) Save(path string) error {
 	st := predictorState{Cfg: p.Cfg, MLPs: map[string]*nn.MLP{}, Stats: map[string]featureStats{}}
+	p.stateMu.RLock()
 	for cat, m := range p.mlps {
 		st.MLPs[cat.String()] = m
 		st.Stats[cat.String()] = *p.stats[cat]
 	}
+	p.stateMu.RUnlock()
 	data, err := json.Marshal(st)
 	if err != nil {
 		return err

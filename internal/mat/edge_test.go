@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveMatMul is the obvious triple loop — the reference every MatMul
+// optimization (ikj order, zero skip, parallel row blocks) must match.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	r := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			r.Set(i, j, s)
+		}
+	}
+	return r
+}
+
+// fillPattern populates m with a deterministic mix of values, zeroing every
+// zeroEvery-th element (and, when zeroRows is set, entire rows) so the
+// mv==0 skip path in matMulRange is exercised.
+func fillPattern(m *Matrix, zeroEvery int, zeroRows ...int) {
+	for i := range m.Data {
+		m.Data[i] = math.Sin(float64(i)*0.7) + 0.1*float64(i%11)
+		if zeroEvery > 0 && i%zeroEvery == 0 {
+			m.Data[i] = 0
+		}
+	}
+	for _, r := range zeroRows {
+		for j := 0; j < m.Cols; j++ {
+			m.Set(r, j, 0)
+		}
+	}
+}
+
+func TestMatMulEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		m, k, n int // (m x k) @ (k x n)
+	}{
+		{"1x1 @ 1x1", 1, 1, 1},
+		{"row vector 1xN @ Nx1", 1, 7, 1},
+		{"1xN @ NxM", 1, 9, 5},
+		{"Nx1 @ 1xM outer product", 6, 1, 4},
+		{"column result Mx1", 5, 8, 1},
+		{"single row below threshold", 1, 100, 100},
+		{"small square", 3, 3, 3},
+		{"tall thin", 17, 2, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := New(c.m, c.k)
+			b := New(c.k, c.n)
+			fillPattern(a, 3)
+			fillPattern(b, 5)
+			got := a.MatMul(b)
+			want := naiveMatMul(a, b)
+			if !Equal(got, want, 1e-12) {
+				t.Errorf("MatMul mismatch for %s:\n got %v\nwant %v", c.name, got, want)
+			}
+			if got.Rows != c.m || got.Cols != c.n {
+				t.Errorf("shape = %dx%d, want %dx%d", got.Rows, got.Cols, c.m, c.n)
+			}
+		})
+	}
+}
+
+func TestMatMulZeroRowSkipPath(t *testing.T) {
+	// Rows 0 and 2 of a are all-zero: matMulRange skips every element of
+	// those rows via the mv==0 fast path, and the result rows must stay 0.
+	a := New(4, 16)
+	b := New(16, 8)
+	fillPattern(a, 0, 0, 2)
+	fillPattern(b, 4)
+	got := a.MatMul(b)
+	want := naiveMatMul(a, b)
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("zero-row result differs from reference")
+	}
+	for _, row := range []int{0, 2} {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(row, j) != 0 {
+				t.Errorf("result[%d][%d] = %v, want exact 0", row, j, got.At(row, j))
+			}
+		}
+	}
+}
+
+func TestMatMulParallelSerialEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		m, k, n int
+	}{
+		// work = m*k*n relative to parallelMatMulThreshold (1<<17).
+		{"below threshold", 32, 32, 32},             // 32768
+		{"just below threshold", 63, 64, 32},        // 129024
+		{"just above threshold", 64, 64, 33},        // 135168
+		{"well above threshold", 96, 128, 64},       // 786432
+		{"above threshold single row", 1, 512, 512}, // parallel path, workers clamp to 1 row
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := New(c.m, c.k)
+			b := New(c.k, c.n)
+			fillPattern(a, 7)
+			fillPattern(b, 11)
+
+			work := c.m * c.k * c.n
+			wantParallel := work >= parallelMatMulThreshold
+			_ = wantParallel // documented intent; both paths must agree regardless
+
+			got := a.MatMul(b)
+
+			serial := New(c.m, c.n)
+			matMulRange(a, b, serial, 0, c.m)
+
+			if !Equal(got, serial, 0) {
+				t.Errorf("parallel and serial MatMul disagree for %s (work=%d, threshold=%d)",
+					c.name, work, parallelMatMulThreshold)
+			}
+			if want := naiveMatMul(a, b); !Equal(got, want, 1e-9) {
+				t.Errorf("MatMul differs from naive reference for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestMatMulEmptyRowRange(t *testing.T) {
+	// matMulRange with lo == hi must be a no-op, not a panic — this is the
+	// degenerate chunk a caller could produce for tiny row counts.
+	a := New(2, 3)
+	b := New(3, 2)
+	fillPattern(a, 0)
+	fillPattern(b, 0)
+	r := New(2, 2)
+	matMulRange(a, b, r, 1, 1)
+	for i, v := range r.Data {
+		if v != 0 {
+			t.Fatalf("result[%d] = %v after empty range, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a thread-safe fixed-capacity LRU map from prediction key to
+// forecast latency. It is the serving layer's first line of defense: DNN
+// graphs repeat identical kernels across layers and users repeat identical
+// workload/GPU queries, so the hit rate on realistic traffic is high.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry struct {
+	key string
+	val float64
+}
+
+// newLRUCache returns a cache holding at most capacity entries. A capacity
+// of zero or less disables caching (every Get misses, Put is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *lruCache) Get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) Put(key string, val float64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruEntry).key)
+		}
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Flush removes every entry, preserving the hit/miss counters.
+func (c *lruCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *lruCache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+)
+
+// KernelRequest is the JSON body of POST /v1/predict/kernel. Dimension
+// semantics follow the kernel constructors:
+//
+//	bmm:        B batches of (M x K) @ (K x N)
+//	linear:     M rows through K inputs -> N outputs
+//	ew_*:       B rows x M cols elementwise (ew_add, ew_mul, ew_div,
+//	            ew_relu, ew_gelu, ew_tanh)
+//	softmax:    B independent vectors of length M
+//	layernorm:  B vectors of length M
+//	embedding:  B tokens of width M gathered from a K-row table
+type KernelRequest struct {
+	Op    string `json:"op"`
+	B     int    `json:"b"`
+	M     int    `json:"m"`
+	K     int    `json:"k"`
+	N     int    `json:"n"`
+	DType string `json:"dtype"` // "fp32" (default) or "fp16"
+	GPU   string `json:"gpu"`
+}
+
+// KernelResponse is the JSON reply of /v1/predict/kernel.
+type KernelResponse struct {
+	Kernel    string  `json:"kernel"`
+	GPU       string  `json:"gpu"`
+	LatencyMs float64 `json:"latency_ms"`
+	FLOPs     float64 `json:"flops"`
+	MemBytes  float64 `json:"mem_bytes"`
+}
+
+// GraphRequest is the JSON body of POST /v1/predict/graph: forecast a
+// registered workload end to end.
+type GraphRequest struct {
+	Workload string `json:"workload"`
+	GPU      string `json:"gpu"`
+	Batch    int    `json:"batch"`
+	Training bool   `json:"training"`
+	Fused    bool   `json:"fused"`
+}
+
+// GraphResponse is the JSON reply of /v1/predict/graph.
+type GraphResponse struct {
+	Workload   string  `json:"workload"`
+	GPU        string  `json:"gpu"`
+	Batch      int     `json:"batch"`
+	Training   bool    `json:"training"`
+	Fused      bool    `json:"fused"`
+	Kernels    int     `json:"kernels"`
+	TotalFLOPs float64 `json:"total_flops"`
+	LatencyMs  float64 `json:"latency_ms"`
+	FitsMemory bool    `json:"fits_memory"`
+}
+
+// opsByName maps API operator names to ops the kernel endpoint can build.
+// Network collectives are deliberately absent: they are priced by the
+// distributed layer, not the kernel predictor.
+var opsByName = map[string]kernels.Op{
+	"bmm":       kernels.OpBMM,
+	"linear":    kernels.OpLinear,
+	"ew_add":    kernels.OpEWAdd,
+	"ew_mul":    kernels.OpEWMul,
+	"ew_div":    kernels.OpEWDiv,
+	"ew_relu":   kernels.OpEWReLU,
+	"ew_gelu":   kernels.OpEWGELU,
+	"ew_tanh":   kernels.OpEWTanh,
+	"softmax":   kernels.OpSoftmax,
+	"layernorm": kernels.OpLayerNorm,
+	"embedding": kernels.OpEmbedding,
+}
+
+// buildKernel validates a KernelRequest and constructs the kernel.
+func buildKernel(req KernelRequest) (kernels.Kernel, error) {
+	op, ok := opsByName[req.Op]
+	if !ok {
+		return kernels.Kernel{}, fmt.Errorf("unknown op %q", req.Op)
+	}
+	var k kernels.Kernel
+	switch op {
+	case kernels.OpBMM:
+		if err := positive("bmm", req.B, req.M, req.K, req.N); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewBMM(req.B, req.M, req.K, req.N)
+	case kernels.OpLinear:
+		if err := positive("linear", req.M, req.K, req.N); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewLinear(req.M, req.K, req.N)
+	case kernels.OpSoftmax:
+		if err := positive("softmax", req.B, req.M); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewSoftmax(req.B, req.M)
+	case kernels.OpLayerNorm:
+		if err := positive("layernorm", req.B, req.M); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewLayerNorm(req.B, req.M)
+	case kernels.OpEmbedding:
+		if err := positive("embedding", req.B, req.M, req.K); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewEmbedding(req.B, req.M, req.K)
+	default: // elementwise family
+		if err := positive(req.Op, req.B, req.M); err != nil {
+			return kernels.Kernel{}, err
+		}
+		k = kernels.NewElementwise(op, req.B, req.M)
+	}
+	switch req.DType {
+	case "", "fp32":
+	case "fp16":
+		k = k.WithDType(kernels.FP16)
+	default:
+		return kernels.Kernel{}, fmt.Errorf("unknown dtype %q (want fp32 or fp16)", req.DType)
+	}
+	return k, nil
+}
+
+func positive(op string, dims ...int) error {
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("%s requires positive dimensions, got %v", op, dims)
+		}
+	}
+	return nil
+}
+
+// NewHandler returns the HTTP API for s:
+//
+//	POST /v1/predict/kernel  — one kernel forecast (KernelRequest)
+//	POST /v1/predict/graph   — end-to-end workload forecast (GraphRequest)
+//	GET  /v1/healthz         — liveness probe
+//	GET  /v1/stats           — cache hit rate, latency percentiles, counters
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict/kernel", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req KernelRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		k, err := buildKernel(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		g, err := gpu.Lookup(req.GPU)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		lat, err := s.PredictKernel(k, g)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, KernelResponse{
+			Kernel: k.Label(), GPU: g.Name, LatencyMs: lat,
+			FLOPs: k.FLOPs(), MemBytes: k.MemBytes(),
+		})
+	})
+	mux.HandleFunc("/v1/predict/graph", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req GraphRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if req.Batch <= 0 {
+			req.Batch = 1
+		}
+		m, err := models.Lookup(req.Workload)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		g, err := gpu.Lookup(req.GPU)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		var gr *graph.Graph
+		if req.Training {
+			gr = m.TrainingGraph(req.Batch)
+		} else {
+			gr = m.InferenceGraph(req.Batch)
+		}
+		if req.Fused {
+			gr = graph.Fuse(gr)
+		}
+		lat := s.PredictGraph(gr, g)
+		writeJSON(w, http.StatusOK, GraphResponse{
+			Workload: m.Name, GPU: g.Name, Batch: req.Batch,
+			Training: req.Training, Fused: req.Fused,
+			Kernels: len(gr.Nodes), TotalFLOPs: gr.TotalFLOPs(), LatencyMs: lat,
+			FitsMemory: m.FitsInMemory(req.Batch, g, req.Training),
+		})
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "backend": s.Backend()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

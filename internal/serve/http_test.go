@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newTestServer spins an httptest server around a stub-backed service.
+func newTestServer(t *testing.T) (*httptest.Server, *stubPredictor) {
+	t.Helper()
+	stub := &stubPredictor{latency: 4.25}
+	ts := httptest.NewServer(NewHandler(New(stub, Config{CacheSize: 64})))
+	t.Cleanup(ts.Close)
+	return ts, stub
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPPredictKernelRoundTrip(t *testing.T) {
+	ts, stub := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/predict/kernel", KernelRequest{
+		Op: "bmm", B: 8, M: 512, K: 512, N: 512, DType: "fp16", GPU: "H100",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	kr := decode[KernelResponse](t, resp)
+	if kr.LatencyMs != 4.25 {
+		t.Errorf("latency = %v, want 4.25", kr.LatencyMs)
+	}
+	if kr.GPU != "H100" || kr.FLOPs <= 0 || kr.MemBytes <= 0 {
+		t.Errorf("response incomplete: %+v", kr)
+	}
+
+	// Identical request again: served from cache, backend untouched.
+	resp = postJSON(t, ts.URL+"/v1/predict/kernel", KernelRequest{
+		Op: "bmm", B: 8, M: 512, K: 512, N: 512, DType: "fp16", GPU: "H100",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := stub.calls.Load(); got != 1 {
+		t.Errorf("backend calls = %d, want 1 (second request must hit cache)", got)
+	}
+}
+
+func TestHTTPPredictKernelValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  KernelRequest
+		want int
+	}{
+		{"unknown op", KernelRequest{Op: "conv9d", B: 1, M: 1, GPU: "V100"}, http.StatusBadRequest},
+		{"nonpositive dim", KernelRequest{Op: "bmm", B: 0, M: 4, K: 4, N: 4, GPU: "V100"}, http.StatusBadRequest},
+		{"unknown gpu", KernelRequest{Op: "softmax", B: 4, M: 4, GPU: "TPUv9"}, http.StatusBadRequest},
+		{"unknown dtype", KernelRequest{Op: "softmax", B: 4, M: 4, DType: "int4", GPU: "V100"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/predict/kernel", c.req)
+			defer resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, c.want)
+			}
+		})
+	}
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/predict/kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPPredictGraphRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/predict/graph", GraphRequest{
+		Workload: "BERT-Large", GPU: "V100", Batch: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	gr := decode[GraphResponse](t, resp)
+	if gr.Kernels <= 0 || gr.LatencyMs <= 0 || gr.TotalFLOPs <= 0 {
+		t.Errorf("response incomplete: %+v", gr)
+	}
+	if gr.Workload != "BERT-Large" || gr.Batch != 2 {
+		t.Errorf("echo fields wrong: %+v", gr)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/predict/graph", GraphRequest{Workload: "NoSuchNet", GPU: "V100"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	h := decode[map[string]string](t, resp)
+	if h["status"] != "ok" || h["backend"] != "stub" {
+		t.Errorf("healthz = %v", h)
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Generate one miss then one hit so the stats are non-trivial.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/predict/kernel", KernelRequest{
+			Op: "layernorm", B: 64, M: 1024, GPU: "V100",
+		})
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	st := decode[Stats](t, resp)
+	if st.Requests != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 2 requests, 1 hit, 1 miss", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate)
+	}
+	if st.Backend != "stub" || st.UptimeSec < 0 {
+		t.Errorf("stats metadata wrong: %+v", st)
+	}
+}

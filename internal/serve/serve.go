@@ -1,0 +1,266 @@
+// Package serve is the production serving layer of the framework: it wraps
+// a trained predictor behind a thread-safe Service that caches, coalesces,
+// and rate-bounds kernel-latency forecasts, and exposes the result as an
+// HTTP JSON API (see http.go) wired into the `neusight serve` subcommand.
+//
+// The serving shape follows directly from the NeuSight design
+// (conf_asplos_LeeP025): a forecast decomposes into per-kernel queries
+// against small MLPs, DNN graphs repeat identical kernels across layers,
+// and users repeat identical (workload, GPU) questions — so an LRU keyed by
+// (kernel fingerprint, GPU) absorbs most traffic, and coalescing collapses
+// identical in-flight misses onto a single MLP evaluation.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neusight/internal/core"
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/tile"
+)
+
+// KernelPredictor is the prediction backend the service wraps. Both
+// *core.Predictor and *core.Ensemble satisfy it; tests substitute stubs.
+// Implementations must be safe for concurrent PredictKernel calls.
+type KernelPredictor interface {
+	Name() string
+	PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
+}
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize is the LRU capacity in entries. Zero means DefaultCacheSize;
+	// negative disables caching.
+	CacheSize int
+	// Workers bounds how many predictions run concurrently in the backend.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// LatencyWindow is the request-latency ring size for percentile stats.
+	// Zero means a reasonable default.
+	LatencyWindow int
+}
+
+// DefaultCacheSize holds the working set of several large transformer
+// graphs (a GPT-3 inference graph has a few thousand kernels but only
+// dozens of unique shapes).
+const DefaultCacheSize = 4096
+
+// Service is a thread-safe prediction server. It layers three mechanisms
+// over the backend predictor:
+//
+//  1. an LRU prediction cache keyed by (kernel fingerprint, GPU name);
+//  2. request coalescing: concurrent misses on the same key share one
+//     backend evaluation instead of duplicating it;
+//  3. a bounded worker pool so graph fan-out cannot oversubscribe the CPU.
+//
+// The Service assumes a frozen backend: latencies are cached until LRU
+// eviction, so if the wrapped predictor is re-trained or its tile database
+// grows while serving, call FlushCache afterwards or stale forecasts will
+// be served indefinitely.
+type Service struct {
+	pred  KernelPredictor
+	cache *lruCache
+	sem   chan struct{}
+	lat   *latencyWindow
+	start time.Time
+
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+
+	requests  atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
+	graphs    atomic.Uint64
+}
+
+// inflightCall is one in-progress backend prediction that later arrivals
+// for the same key wait on.
+type inflightCall struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// New returns a Service wrapping pred.
+func New(pred KernelPredictor, cfg Config) *Service {
+	if pred == nil {
+		panic("serve: nil predictor")
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		pred:     pred,
+		cache:    newLRUCache(size),
+		sem:      make(chan struct{}, workers),
+		lat:      newLatencyWindow(cfg.LatencyWindow),
+		start:    time.Now(),
+		inflight: map[string]*inflightCall{},
+	}
+}
+
+// Backend returns the wrapped predictor's name.
+func (s *Service) Backend() string { return s.pred.Name() }
+
+// FlushCache drops every cached prediction (hit/miss counters are kept).
+// Call it after mutating the backend — re-training the predictor or adding
+// tile records — so subsequent requests re-resolve against the new state.
+func (s *Service) FlushCache() {
+	s.cache.Flush()
+}
+
+// cacheKey fingerprints a prediction request with the same fingerprint the
+// predictor's tile cache and the tile DB memo use, so every cache layer
+// agrees on request identity.
+func cacheKey(k kernels.Kernel, g gpu.Spec) string {
+	return tile.QueryKey(k, g)
+}
+
+// PredictKernel forecasts the latency of kernel k on device g in
+// milliseconds, serving from cache when possible and coalescing concurrent
+// identical requests. It is safe for arbitrary concurrent use.
+func (s *Service) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	defer func() { s.lat.Observe(time.Since(start)) }()
+
+	if k.Category() == kernels.CatNetwork {
+		s.errors.Add(1)
+		return 0, fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
+	}
+
+	key := cacheKey(k, g)
+	if v, ok := s.cache.Get(key); ok {
+		return v, nil
+	}
+
+	s.mu.Lock()
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-call.done
+		if call.err != nil {
+			s.errors.Add(1)
+		}
+		return call.val, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	s.runBackend(call, key, k, g)
+
+	if call.err != nil {
+		s.errors.Add(1)
+		return 0, call.err
+	}
+	s.cache.Put(key, call.val)
+	return call.val, nil
+}
+
+// runBackend executes the backend prediction for a registered in-flight
+// call under the worker-pool bound. Cleanup — releasing the pool slot,
+// unregistering the call, and closing done — runs even if the backend
+// panics; the panic is converted to an error so both the leader and every
+// coalesced waiter fail cleanly instead of wedging the key forever.
+func (s *Service) runBackend(call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
+	defer func() {
+		if r := recover(); r != nil {
+			call.err = fmt.Errorf("serve: backend panic predicting %s: %v", k.Label(), r)
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(call.done)
+	}()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	call.val, call.err = s.pred.PredictKernel(k, g)
+}
+
+// PredictGraph forecasts the end-to-end latency of gr on g under the
+// paper's sequential-execution assumption, fanning the per-kernel
+// sub-predictions across the worker pool. Identical kernels within the
+// graph — and across concurrent PredictGraph calls — share cache entries
+// and coalesce, so N concurrent requests for similar models cost far less
+// than N independent walks. Kernels that fail to predict contribute their
+// memory-bound fallback, mirroring core.Predictor.PredictGraph.
+func (s *Service) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
+	s.graphs.Add(1)
+	lats := make([]float64, len(gr.Nodes))
+	var wg sync.WaitGroup
+	for i, n := range gr.Nodes {
+		if n.Kernel.Category() == kernels.CatNetwork {
+			continue // network ops are priced by the distributed layer
+		}
+		wg.Add(1)
+		go func(i int, k kernels.Kernel) {
+			defer wg.Done()
+			l, err := s.PredictKernel(k, g)
+			if err != nil {
+				l = core.MemBoundLatency(k, g)
+			}
+			lats[i] = l
+		}(i, n.Kernel)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, l := range lats {
+		total += l
+	}
+	return total
+}
+
+// Stats is a point-in-time snapshot of the service counters, exposed on
+// /v1/stats and consumed by the throughput benchmark.
+type Stats struct {
+	Backend       string  `json:"backend"`
+	Requests      uint64  `json:"requests"`
+	GraphRequests uint64  `json:"graph_requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheLen      int     `json:"cache_len"`
+	HitRate       float64 `json:"hit_rate"`
+	Coalesced     uint64  `json:"coalesced"`
+	Errors        uint64  `json:"errors"`
+	LatencyP50ms  float64 `json:"latency_p50_ms"`
+	LatencyP90ms  float64 `json:"latency_p90_ms"`
+	LatencyP99ms  float64 `json:"latency_p99_ms"`
+	UptimeSec     float64 `json:"uptime_sec"`
+}
+
+// Stats returns the current counters. HitRate is hits/(hits+misses), 0
+// before any traffic.
+func (s *Service) Stats() Stats {
+	hits, misses := s.cache.Counters()
+	ps := s.lat.Percentiles(0.50, 0.90, 0.99)
+	st := Stats{
+		Backend:       s.pred.Name(),
+		Requests:      s.requests.Load(),
+		GraphRequests: s.graphs.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheLen:      s.cache.Len(),
+		Coalesced:     s.coalesced.Load(),
+		Errors:        s.errors.Load(),
+		LatencyP50ms:  ps[0],
+		LatencyP90ms:  ps[1],
+		LatencyP99ms:  ps[2],
+		UptimeSec:     time.Since(s.start).Seconds(),
+	}
+	if total := hits + misses; total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	return st
+}

@@ -23,26 +23,63 @@ type Record struct {
 	Tile     []int      `json:"tile"`
 }
 
-// DB stores profiled tile records and answers nearest-match queries. It is
-// safe for concurrent lookup after loading; Add may race with Lookup and is
-// guarded.
+// DB stores profiled tile records and answers nearest-match queries. All
+// methods are safe for concurrent use: Add may interleave freely with
+// Lookup/LookupOrSelect. Repeated LookupOrSelect queries for the same
+// (kernel, GPU) are served from a memo that Add invalidates, so the hot
+// serving path pays the O(records) nearest-match scan only once per unique
+// query per database generation.
 type DB struct {
 	mu      sync.RWMutex
 	records []Record
+
+	memoMu  sync.Mutex
+	memo    map[string]Tile
+	memoGen uint64 // bumped by Add; a scan only memoizes if the generation is unchanged
+}
+
+// memoLimit bounds the LookupOrSelect memo; when full the memo is dropped
+// wholesale (queries repeat heavily in serving workloads, so the reset
+// refills almost immediately with the live working set).
+const memoLimit = 8192
+
+// QueryKey fingerprints a (kernel, GPU) prediction query. Every cache along
+// the serving path — the DB memo here, the predictor's tile cache, and the
+// serve layer's prediction LRU — must key on this same fingerprint, or the
+// layers silently disagree about what "identical request" means.
+// Kernel.Label encodes operator, dimensions, precision, and fusion
+// metadata; GPU specs are registry entries uniquely identified by name.
+func QueryKey(k kernels.Kernel, g gpu.Spec) string {
+	return k.Label() + "@" + g.Name
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{} }
 
-// Add records the tile observed for kernel k on device g.
+// Add records the tile observed for kernel k on device g and invalidates
+// the LookupOrSelect memo, since the new record may now be a nearer match.
 func (db *DB) Add(k kernels.Kernel, g gpu.Spec, t Tile) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.records = append(db.records, Record{
 		Op: k.Op, Dims: append([]int(nil), k.OutputDims()...),
 		SMs: g.SMs, L2MB: g.L2CacheMB, PeakTF: g.PeakFLOPS, MemBWGBs: g.MemoryBWGBs,
 		Tile: append([]int(nil), t.Dims...),
 	})
+	db.mu.Unlock()
+	db.memoMu.Lock()
+	db.memo = nil
+	db.memoGen++
+	db.memoMu.Unlock()
+}
+
+// Generation reports how many times the record set has changed. Callers
+// that memoize LookupOrSelect results (e.g. the predictor's tile cache)
+// compare generations to notice when a new record may have changed the
+// nearest match.
+func (db *DB) Generation() uint64 {
+	db.memoMu.Lock()
+	defer db.memoMu.Unlock()
+	return db.memoGen
 }
 
 // Len reports the number of stored records.
@@ -88,11 +125,36 @@ func (db *DB) Lookup(k kernels.Kernel, g gpu.Spec) (Tile, bool) {
 
 // LookupOrSelect resolves the tile for k on g from profiled data, falling
 // back to the library heuristic when the database has no usable record.
+// Results are memoized per (kernel, GPU) and invalidated whenever Add
+// changes the record set, making repeated serving-path queries O(1).
 func (db *DB) LookupOrSelect(k kernels.Kernel, g gpu.Spec) Tile {
-	if t, ok := db.Lookup(k, g); ok {
+	key := QueryKey(k, g)
+	db.memoMu.Lock()
+	gen := db.memoGen
+	if t, ok := db.memo[key]; ok {
+		db.memoMu.Unlock()
 		return t
 	}
-	return Select(k, g)
+	db.memoMu.Unlock()
+
+	t, ok := db.Lookup(k, g)
+	if !ok {
+		t = Select(k, g)
+	}
+
+	db.memoMu.Lock()
+	// Only memoize if no Add landed during the scan: a fresher record could
+	// have changed the nearest match, and a stale cache would pin it.
+	if db.memoGen == gen {
+		if db.memo == nil {
+			db.memo = make(map[string]Tile)
+		} else if len(db.memo) >= memoLimit {
+			db.memo = make(map[string]Tile)
+		}
+		db.memo[key] = t
+	}
+	db.memoMu.Unlock()
+	return t
 }
 
 func sqDiffLog(a, b float64) float64 {

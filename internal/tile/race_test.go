@@ -1,0 +1,104 @@
+package tile
+
+import (
+	"sync"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// TestDBConcurrentAddLookup hammers one DB from 32 goroutines mixing Add,
+// Lookup, LookupOrSelect, and Len. It exists to fail under `go test -race`
+// if any of the DB's locking (records RWMutex, memo mutex, generation
+// invalidation) regresses.
+func TestDBConcurrentAddLookup(t *testing.T) {
+	db := NewDB()
+	gpus := []gpu.Spec{gpu.MustLookup("V100"), gpu.MustLookup("H100"), gpu.MustLookup("A100-40GB")}
+
+	// Seed a few records so lookups have matches from the start.
+	for i := 1; i <= 4; i++ {
+		k := kernels.NewBMM(i, 64*i, 64, 64)
+		db.Add(k, gpus[0], Select(k, gpus[0]))
+	}
+
+	const goroutines = 32
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := gpus[w%len(gpus)]
+			for i := 0; i < iters; i++ {
+				k := kernels.NewBMM(1+(w+i)%8, 32+32*(i%4), 64, 64)
+				switch i % 4 {
+				case 0: // writer: mutates records and bumps the memo generation
+					db.Add(k, g, Select(k, g))
+				case 1:
+					if tl, ok := db.Lookup(k, g); ok && len(tl.Dims) == 0 {
+						t.Error("Lookup returned an empty tile with ok=true")
+					}
+				case 2:
+					if tl := db.LookupOrSelect(k, g); len(tl.Dims) == 0 {
+						t.Error("LookupOrSelect returned an empty tile")
+					}
+				default:
+					if db.Len() < 4 {
+						t.Error("Len dropped below the seeded count")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := db.Len(), 4+goroutines*iters/4; got != want {
+		t.Errorf("final record count = %d, want %d", got, want)
+	}
+}
+
+// TestDBMemoInvalidation checks that LookupOrSelect answers change when a
+// closer record is added after the memo has been populated.
+func TestDBMemoInvalidation(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("V100")
+	far := kernels.NewBMM(64, 2048, 2048, 2048)
+	db.Add(far, g, Tile{Dims: []int{256, 256}})
+
+	query := kernels.NewBMM(1, 32, 32, 32)
+	if got := db.LookupOrSelect(query, g); got.Dims[0] != 256 {
+		t.Fatalf("pre-invalidation tile = %v, want the far record's 256x256", got.Dims)
+	}
+	// A record exactly matching the query must now win, despite the memo.
+	db.Add(query, g, Tile{Dims: []int{16, 16}})
+	if got := db.LookupOrSelect(query, g); got.Dims[0] != 16 {
+		t.Errorf("post-invalidation tile = %v, want the exact record's 16x16", got.Dims)
+	}
+}
+
+// TestDBConcurrentLookupOrSelectSingleKey drives many goroutines at one
+// key to exercise the memoize-while-scanning path.
+func TestDBConcurrentLookupOrSelectSingleKey(t *testing.T) {
+	db := NewDB()
+	g := gpu.MustLookup("H100")
+	k := kernels.NewLinear(512, 1024, 1024)
+	db.Add(k, g, Select(k, g))
+
+	want := db.LookupOrSelect(k, g)
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got := db.LookupOrSelect(k, g)
+				if len(got.Dims) != len(want.Dims) {
+					t.Error("inconsistent tile across concurrent lookups")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

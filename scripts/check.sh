@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate, runnable locally. Referenced from
+# README.md; run it before sending a PR.
+#
+#   scripts/check.sh          full gate: fmt, vet, build, race-enabled tests
+#   scripts/check.sh -fast    skip the race detector (plain `go test ./...`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "-fast" ]]; then
+  fast=1
+fi
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+if [[ "$fast" == 1 ]]; then
+  echo "==> go test ./... (fast mode, no race detector)"
+  go test ./...
+else
+  echo "==> go test -race ./..."
+  go test -race ./...
+fi
+
+echo "OK"
