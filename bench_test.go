@@ -199,6 +199,47 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeBatchThroughput measures the batched serving path: the
+// kernels of a BERT-Large inference graph submitted as whole batches from
+// parallel clients via Service.PredictBatch. The first batches miss and are
+// evaluated in one compiled forward pass per operator category; steady
+// state serves from cache. Compare kernels/sec against the per-request
+// predictions/sec of BenchmarkServeThroughput.
+func BenchmarkServeBatchThroughput(b *testing.B) {
+	l := lab(b)
+	svc := serve.New(l.NeuSight, serve.Config{CacheSize: serve.DefaultCacheSize})
+	g := gpu.MustLookup("H100")
+	m, err := models.Lookup("BERT-Large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := ks4bench(m.InferenceGraph(2).Kernels())
+	if len(ks) == 0 {
+		b.Fatal("no predictable kernels in the benchmark graph")
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, errs := svc.PredictBatch(ks, g)
+			for _, err := range errs {
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+
+	st := svc.Stats()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(st.BatchedKernels)/secs, "kernels/sec")
+	}
+	b.ReportMetric(float64(len(ks)), "batch_size")
+	b.ReportMetric(st.HitRate*100, "cache_hit_pct")
+}
+
 // ks4bench filters out network kernels, which the kernel predictor
 // rejects by design.
 func ks4bench(all []kernels.Kernel) []kernels.Kernel {

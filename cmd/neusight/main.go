@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"neusight/internal/core"
 	"neusight/internal/dataset"
@@ -189,7 +194,9 @@ func quickPredictor() *core.Predictor {
 
 // serveCmd runs the HTTP prediction service: either around a predictor
 // saved by train (-model/-tiles) or a reduced one trained in-process
-// (-quick).
+// (-quick). SIGINT/SIGTERM trigger a graceful shutdown: the listener
+// closes immediately, in-flight requests drain up to -drain, then the
+// process exits cleanly.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -198,6 +205,7 @@ func serveCmd(args []string) error {
 	quickTrain := fs.Bool("quick", false, "train a reduced predictor in-process instead of loading one")
 	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "prediction LRU cache size (entries; negative disables)")
 	workers := fs.Int("workers", 0, "max concurrent backend predictions (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -219,9 +227,59 @@ func serveCmd(args []string) error {
 		return fmt.Errorf("serve: pass -model (with -tiles) or -quick")
 	}
 	svc := serve.New(p, serve.Config{CacheSize: *cacheSize, Workers: *workers})
-	fmt.Printf("serving %s on %s (cache %d entries)\n", svc.Backend(), *addr, *cacheSize)
-	fmt.Println("endpoints: POST /v1/predict/kernel  POST /v1/predict/graph  GET /v1/healthz  GET /v1/stats")
-	return http.ListenAndServe(*addr, serve.NewHandler(svc))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s (cache %d entries)\n", svc.Backend(), ln.Addr(), *cacheSize)
+	fmt.Println("endpoints: POST /v1/predict/kernel  POST /v1/predict/batch  POST /v1/predict/graph")
+	fmt.Println("           GET /v1/healthz  GET /v1/stats  GET /metrics")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Release the signal handler as soon as the first signal lands: the
+	// drain then proceeds, but a second SIGINT/SIGTERM gets default
+	// handling and force-quits instead of being swallowed for -drain.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	srv := &http.Server{
+		Handler: serve.NewHandler(svc),
+		// Bound slow clients on both directions so trickled headers,
+		// unread responses, or abandoned connections cannot pin goroutines
+		// and file descriptors indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return runServer(ctx, srv, ln, *drain)
+}
+
+// runServer serves srv on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts down gracefully: the listener closes so no new
+// connections are accepted, and in-flight requests get up to drain to
+// complete before the remaining connections are torn down.
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err // listener failed before any shutdown was requested
+	case <-ctx.Done():
+	}
+	fmt.Printf("shutting down: draining in-flight requests (up to %v)...\n", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errCh; serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: drain timeout exceeded: %w", err)
+	}
+	fmt.Println("shutdown complete")
+	return nil
 }
 
 func forecast(p *core.Predictor, workload, gpuName string, batch int, trainMode, fused bool) error {

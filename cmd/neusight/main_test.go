@@ -2,19 +2,24 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"neusight/internal/core"
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
 	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
 	"neusight/internal/serve"
 	"neusight/internal/tile"
 )
@@ -226,4 +231,55 @@ func TestForecastBreakdownFlag(t *testing.T) {
 			t.Fatalf("breakdown output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestRunServerGracefulShutdown drives runServer the way a SIGINT would:
+// requests succeed while the context is live; cancelling it drains and
+// returns nil; afterwards the listener is closed to new connections.
+func TestRunServerGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(stubBackend{}, serve.Config{CacheSize: 16})
+	srv := &http.Server{Handler: serve.NewHandler(svc)}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() { done <- runServer(ctx, srv, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String() + "/v1/healthz"
+	var resp *http.Response
+	for i := 0; i < 100; i++ { // wait for the server to accept
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+
+	_ = captureStdout(t, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("runServer did not return after context cancel")
+		}
+	})
+	if _, err := http.Get(url); err == nil {
+		t.Error("listener still accepting connections after graceful shutdown")
+	}
+}
+
+// stubBackend is a minimal predictor for server-lifecycle tests.
+type stubBackend struct{}
+
+func (stubBackend) Name() string { return "stub" }
+func (stubBackend) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	return 1, nil
 }

@@ -28,6 +28,7 @@ import (
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
+	"neusight/internal/nn"
 	"neusight/internal/tile"
 )
 
@@ -132,10 +133,17 @@ func fitStats(rows [][]float64) featureStats {
 
 func (st featureStats) apply(row []float64) []float64 {
 	out := make([]float64, len(row))
-	for j, v := range row {
-		out[j] = (v - st.Mean[j]) / st.Std[j]
-	}
+	copy(out, row)
+	st.applyInPlace(out)
 	return out
+}
+
+// applyInPlace normalizes row in place — the allocation-free form of apply
+// used by the compiled prediction path.
+func (st featureStats) applyInPlace(row []float64) {
+	for j, v := range row {
+		row[j] = (v - st.Mean[j]) / st.Std[j]
+	}
 }
 
 // ErrUntrained is returned when predicting a category that has no trained
@@ -156,6 +164,17 @@ func utilFromHeads(heads *ad.Value, waves *ad.Value) *ad.Value {
 	beta := ad.Sigmoid(ad.SliceCols(heads, 1, 2))
 	util := ad.Sub(alpha, ad.Div(beta, waves))
 	return ad.ClampMin(util, utilFloor)
+}
+
+// utilScalar is the scalar form of utilFromHeads used by the compiled
+// inference path: sigmoid-bounded alpha and beta, the wave law, and the
+// utilization floor, applied to one sample's raw heads. The formulas match
+// the autodiff ops exactly, so compiled predictions are bit-identical to
+// the expression training differentiates.
+func utilScalar(h0, h1, waves float64) float64 {
+	alpha := nn.SigmoidScalar(h0)
+	beta := nn.SigmoidScalar(h1)
+	return math.Max(alpha-beta/waves, utilFloor)
 }
 
 // sampleTensors extracts the per-sample training tensors for one category:

@@ -42,17 +42,26 @@ func DefaultConfig() Config {
 // Predictor is a trained NeuSight instance: one utilization MLP per
 // operator category plus the tile database recorded during profiling.
 //
-// A trained Predictor is safe for concurrent PredictKernel / PredictGraph /
-// Utilization calls: the MLP and normalization maps are guarded against a
-// concurrent Train, and tile resolution deduplicates in-flight database
-// scans so identical kernels arriving together pay for one lookup.
+// A trained Predictor is safe for concurrent PredictKernel / PredictKernels
+// / PredictGraph / Utilization calls: the MLP and normalization maps are
+// guarded against a concurrent Train, and tile resolution deduplicates
+// in-flight database scans so identical kernels arriving together pay for
+// one lookup.
+//
+// Training and prediction use different representations of the same
+// weights. Train fits autodiff MLPs (gradients flow through the latency
+// equations); every prediction then runs through a nn.CompiledMLP — an
+// immutable weight snapshot with an allocation-free forward pass — compiled
+// lazily on the first prediction after Train or Load and invalidated
+// whenever a category is retrained.
 type Predictor struct {
 	Cfg    Config
 	TileDB *tile.DB
 
-	stateMu sync.RWMutex
-	mlps    map[kernels.Category]*nn.MLP
-	stats   map[kernels.Category]*featureStats
+	stateMu  sync.RWMutex
+	mlps     map[kernels.Category]*nn.MLP
+	stats    map[kernels.Category]*featureStats
+	compiled map[kernels.Category]*nn.CompiledMLP
 
 	mu        sync.Mutex
 	tileCache map[string]*tileEntry
@@ -79,9 +88,16 @@ func NewPredictor(cfg Config, tdb *tile.DB) *Predictor {
 		Cfg: cfg, TileDB: tdb,
 		mlps:      map[kernels.Category]*nn.MLP{},
 		stats:     map[kernels.Category]*featureStats{},
+		compiled:  map[kernels.Category]*nn.CompiledMLP{},
 		tileCache: map[string]*tileEntry{},
 	}
 }
+
+// tileCacheLimit bounds the tile cache below. When full, completed entries
+// are evicted wholesale — serving traffic repeats heavily, so the cache
+// refills with the live working set; in-flight entries are kept because
+// waiters are parked on their done channels.
+const tileCacheLimit = 8192
 
 // tileFor resolves the tile for k on g through a small cache: DNN graphs
 // repeat identical kernels across layers, and the nearest-match database
@@ -95,6 +111,13 @@ func (p *Predictor) tileFor(k kernels.Kernel, g gpu.Spec) tile.Tile {
 	p.mu.Lock()
 	e, found := p.tileCache[key]
 	if !found || (isClosed(e.done) && (e.gen != gen || !e.ok)) {
+		if !found && len(p.tileCache) >= tileCacheLimit {
+			for k2, e2 := range p.tileCache {
+				if isClosed(e2.done) {
+					delete(p.tileCache, k2)
+				}
+			}
+		}
 		e = &tileEntry{done: make(chan struct{}), gen: gen}
 		p.tileCache[key] = e
 		p.mu.Unlock()
@@ -132,6 +155,36 @@ func (p *Predictor) model(cat kernels.Category) (*nn.MLP, *featureStats, bool) {
 	defer p.stateMu.RUnlock()
 	mlp, ok := p.mlps[cat]
 	return mlp, p.stats[cat], ok
+}
+
+// compiledModel returns the compiled forward pass and feature stats for
+// cat, compiling lazily on the first prediction after Train or Load. The
+// common case is a read-locked map hit; the slow path double-checks under
+// the write lock so concurrent first predictions compile once.
+func (p *Predictor) compiledModel(cat kernels.Category) (*nn.CompiledMLP, *featureStats, bool) {
+	p.stateMu.RLock()
+	if cm := p.compiled[cat]; cm != nil {
+		st := p.stats[cat]
+		p.stateMu.RUnlock()
+		return cm, st, true
+	}
+	_, trained := p.mlps[cat]
+	p.stateMu.RUnlock()
+	if !trained {
+		return nil, nil, false
+	}
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	mlp, ok := p.mlps[cat]
+	if !ok { // retrain/reload raced us away
+		return nil, nil, false
+	}
+	cm := p.compiled[cat]
+	if cm == nil {
+		cm = nn.Compile(mlp)
+		p.compiled[cat] = cm
+	}
+	return cm, p.stats[cat], true
 }
 
 // Name implements the predictor naming convention used by the harness.
@@ -213,6 +266,9 @@ func (p *Predictor) TrainCategory(cat kernels.Category, ds *dataset.Dataset) flo
 	p.stateMu.Lock()
 	p.mlps[cat] = mlp
 	p.stats[cat] = &st
+	// Invalidate the compiled snapshot; the next prediction recompiles from
+	// the fresh weights. In-flight predictions keep their old snapshot.
+	delete(p.compiled, cat)
 	p.stateMu.Unlock()
 	return final
 }
@@ -227,10 +283,46 @@ func predictExpr(mlp *nn.MLP, X, c, w *ad.Value) *ad.Value {
 
 // PredictKernel forecasts the latency of kernel k on device g in
 // milliseconds. Kernels in the five trained categories go through the
-// tile/utilization pipeline; anything else uses the memory-bound fallback
-// (paper Section 4.3). Network kernels are rejected — the network model
-// owns them.
+// tile/utilization pipeline on the compiled inference path — no autodiff
+// graph is built; anything else uses the memory-bound fallback (paper
+// Section 4.3). Network kernels are rejected — the network model owns them.
 func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	cat := k.Category()
+	if cat == kernels.CatNetwork {
+		return 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
+	}
+	cm, st, ok := p.compiledModel(cat)
+	if !ok {
+		if cat == kernels.CatMemoryBound {
+			return MemBoundLatency(k, g), nil
+		}
+		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
+	}
+	c, util := p.compiledEval(cm, st, k, g)
+	return c / util, nil
+}
+
+// compiledEval runs the compiled single-kernel pipeline — tile resolution,
+// latency constant, featurization, normalization, one forward pass, and the
+// utilization law — and returns the latency constant and bounded
+// utilization. It is the one copy of the pipeline whose bit-identity with
+// the autodiff expression the parity tests enforce; PredictKernel and
+// Utilization must not diverge from each other.
+func (p *Predictor) compiledEval(cm *nn.CompiledMLP, st *featureStats, k kernels.Kernel, g gpu.Spec) (c, util float64) {
+	t := p.tileFor(k, g)
+	c, waves := latencyConstant(k, g, t)
+	f := Features(k, g, t, waves)
+	st.applyInPlace(f)
+	var heads [2]float64
+	cm.ForwardRow(f, heads[:])
+	return c, utilScalar(heads[0], heads[1], float64(waves))
+}
+
+// predictKernelAutodiff is the pre-compilation prediction path: it builds
+// the full autodiff expression (graph nodes, gradient buffers, backward
+// closures) exactly as training does. It is retained for parity tests and
+// the compiled-vs-autodiff benchmarks; serving traffic never takes it.
+func (p *Predictor) predictKernelAutodiff(k kernels.Kernel, g gpu.Spec) (float64, error) {
 	cat := k.Category()
 	if cat == kernels.CatNetwork {
 		return 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
@@ -256,32 +348,36 @@ func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 // g — useful for introspection and the Table 2 style analyses.
 func (p *Predictor) Utilization(k kernels.Kernel, g gpu.Spec) (float64, error) {
 	cat := k.Category()
-	mlp, st, ok := p.model(cat)
+	cm, st, ok := p.compiledModel(cat)
 	if !ok {
 		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
 	}
-	t := p.tileFor(k, g)
-	_, waves := latencyConstant(k, g, t)
-	f := st.apply(Features(k, g, t, waves))
-	x := ad.NewConstant(mat.FromSlice(1, NumFeatures, f))
-	wv := ad.NewConstant(mat.FromSlice(1, 1, []float64{float64(waves)}))
-	return utilFromHeads(mlp.Forward(x), wv).Data.Data[0], nil
+	_, util := p.compiledEval(cm, st, k, g)
+	return util, nil
 }
 
 // PredictGraph forecasts the end-to-end latency of a kernel graph on g by
-// sequential aggregation (Section 5). Kernels that fail to predict
-// contribute their memory-bound fallback rather than aborting the forecast.
+// sequential aggregation (Section 5), batching every predictable kernel
+// through one PredictKernels call per category so the whole graph pays for
+// a handful of compiled forward passes. Kernels that fail to predict
+// contribute their memory-bound fallback rather than aborting the forecast;
+// network kernels contribute zero (the distributed layer prices them).
 func (p *Predictor) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
-	return gr.Latency(func(k kernels.Kernel) float64 {
-		if k.Category() == kernels.CatNetwork {
-			return 0 // network ops are priced by the distributed layer
+	ks := make([]kernels.Kernel, 0, len(gr.Nodes))
+	for _, n := range gr.Nodes {
+		if n.Kernel.Category() != kernels.CatNetwork {
+			ks = append(ks, n.Kernel)
 		}
-		l, err := p.PredictKernel(k, g)
-		if err != nil {
-			return MemBoundLatency(k, g)
+	}
+	lats, errs := p.PredictKernels(ks, g)
+	total := 0.0
+	for i, l := range lats {
+		if errs[i] != nil {
+			l = MemBoundLatency(ks[i], g)
 		}
-		return l
-	})
+		total += l
+	}
+	return total
 }
 
 // TrainedCategories lists the categories with fitted MLPs, sorted.

@@ -1,0 +1,39 @@
+package mat
+
+import "sync"
+
+// Arena is a sync.Pool-backed scratch-buffer allocator for the compiled
+// inference path. Hot loops that need temporary matrices — the hidden-layer
+// activations of a forward pass — Get them from an Arena and Put them back,
+// so steady-state inference performs zero heap allocations for scratch.
+//
+// Buffers are recycled by capacity, not shape: a Get reshapes any pooled
+// buffer large enough to hold rows x cols, so one arena serves every layer
+// width of a network and every batch size of a serving workload. Matrices
+// returned by Get hold unspecified values; callers that need zeroed memory
+// (MatMulInto does not — it overwrites its window) must Zero them.
+//
+// An Arena is safe for concurrent use. The zero value is ready to use.
+type Arena struct {
+	pool sync.Pool
+}
+
+// Get returns a rows x cols scratch matrix with unspecified contents.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if m, _ := a.pool.Get().(*Matrix); m != nil && cap(m.Data) >= n {
+		m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+		return m
+	}
+	// Nothing pooled, or the pooled buffer was too small (it is dropped and
+	// eventually collected; the pool refills at the new high-water mark).
+	return New(rows, cols)
+}
+
+// Put returns m to the arena for reuse. m must not be used after Put.
+func (a *Arena) Put(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	a.pool.Put(m)
+}

@@ -1,0 +1,169 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the in-place and fused primitives behind the compiled
+// inference path (internal/nn.CompiledMLP). They are the allocation-free
+// counterparts of the allocating operations in mat.go: every destination is
+// caller-provided (typically from an Arena), and the bias + activation of an
+// MLP layer fuse into a single pass over the output.
+//
+// Numerical contract: MatMulInto accumulates each output element over k in
+// increasing order — the same order as MatMul — so a compiled forward pass
+// is bit-identical to the autodiff forward pass it replaces, regardless of
+// how the row/column ranges are blocked across goroutines.
+
+// overlaps reports whether two float64 slices share backing memory. The
+// in-place kernels only ever see whole-matrix buffers, so comparing the
+// first elements of the full capacity ranges is sufficient.
+func overlaps(a, b []float64) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][0] == &b[:cap(b)][0]
+}
+
+// ParallelFor splits [0, n) into contiguous chunks, one per available CPU,
+// and runs fn on each concurrently, returning when all chunks finish. With
+// one CPU (or n <= 1) fn runs inline. A panic in any chunk is re-raised in
+// the calling goroutine after the rest complete, so callers' recover
+// handlers see worker panics exactly as if fn had run inline. It is the
+// shared fan-out primitive of the parallel matmuls here and the batch
+// featurizer in internal/core.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// MatMulInto computes dst = a @ b, overwriting dst. dst must be a.Rows x
+// b.Cols and must not alias a or b. Large products are blocked across
+// goroutines: by row chunks for training-shaped batches, and by column
+// blocks for the tall-skinny (few rows, wide output) shapes single-kernel
+// inference produces, so every core helps even at batch size 1. Returns dst.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulInto inner dimension mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if overlaps(dst.Data, a.Data) || overlaps(dst.Data, b.Data) {
+		panic("mat: MatMulInto dst aliases an input")
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelMatMulThreshold {
+		matMulIntoRange(a, b, dst, 0, a.Rows, 0, b.Cols)
+		return dst
+	}
+	if a.Rows >= runtime.GOMAXPROCS(0) {
+		// Row-parallel: each worker owns a contiguous row chunk.
+		ParallelFor(a.Rows, func(lo, hi int) {
+			matMulIntoRange(a, b, dst, lo, hi, 0, b.Cols)
+		})
+	} else {
+		// Column-parallel: too few rows to feed every core, so split the
+		// output columns into blocks instead (the batch x 512 case).
+		ParallelFor(b.Cols, func(lo, hi int) {
+			matMulIntoRange(a, b, dst, 0, a.Rows, lo, hi)
+		})
+	}
+	return dst
+}
+
+// matMulIntoRange computes the [rlo,rhi) x [clo,chi) window of dst = a @ b.
+// The window is zeroed and then accumulated in ikj order, streaming b and
+// dst rows sequentially; each dst element sees its k terms in increasing
+// order, which keeps the result bit-identical to matMulRange.
+func matMulIntoRange(a, b, dst *Matrix, rlo, rhi, clo, chi int) {
+	for i := rlo; i < rhi; i++ {
+		aRow := a.Row(i)
+		dRow := dst.Row(i)[clo:chi]
+		for j := range dRow {
+			dRow[j] = 0
+		}
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Row(k)[clo:chi]
+			for j, bv := range bRow {
+				dRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddRowVectorInto writes dst = a with the 1 x Cols vector v added to every
+// row. dst must match a's shape and may alias a (the in-place case).
+// Returns dst.
+func AddRowVectorInto(dst, a, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: AddRowVectorInto wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	dst.shapeCheck(a, "AddRowVectorInto")
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		out := dst.Row(i)
+		for j, x := range row {
+			out[j] = x + v.Data[j]
+		}
+	}
+	return dst
+}
+
+// AddRowVectorApplyInto fuses an MLP layer epilogue into one pass:
+// dst = f(a + broadcast(v)) elementwise, where v is 1 x Cols. dst may alias
+// a. Fusing the bias add with the activation halves the memory traffic of
+// the layer epilogue, which dominates once the matmul itself is blocked.
+// Returns dst.
+func AddRowVectorApplyInto(dst, a, v *Matrix, f func(float64) float64) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: AddRowVectorApplyInto wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	dst.shapeCheck(a, "AddRowVectorApplyInto")
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		out := dst.Row(i)
+		for j, x := range row {
+			out[j] = f(x + v.Data[j])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,197 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulIntoMatchesMatMul checks that the in-place kernel is
+// bit-identical to the allocating one across the shape regimes it blocks
+// differently: tiny (serial), tall (row-parallel), and tall-skinny / wide
+// (column-parallel).
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 5, 2},     // single row, serial
+		{3, 17, 9},    // small, serial
+		{128, 64, 80}, // row-parallel
+		{1, 512, 512}, // tall-skinny: column-parallel
+		{4, 512, 300}, // few rows, wide output
+		{97, 53, 61},  // odd sizes
+	}
+	for _, s := range shapes {
+		a := RandN(rng, s[0], s[1], 1)
+		b := RandN(rng, s[1], s[2], 1)
+		want := a.MatMul(b)
+		dst := New(s[0], s[2])
+		dst.Fill(math.NaN()) // MatMulInto must overwrite, not accumulate
+		got := MatMulInto(dst, a, b)
+		if got != dst {
+			t.Fatalf("%v: MatMulInto did not return dst", s)
+		}
+		if !Equal(want, got, 0) {
+			t.Fatalf("%v: MatMulInto differs from MatMul", s)
+		}
+	}
+}
+
+func TestMatMulIntoPanics(t *testing.T) {
+	a, b := New(2, 3), New(3, 4)
+	cases := map[string]func(){
+		"inner mismatch": func() { MatMulInto(New(2, 4), a, New(4, 4)) },
+		"dst shape":      func() { MatMulInto(New(3, 4), a, b) },
+		"dst aliases a":  func() { MatMulInto(a, a, New(3, 3)) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddRowVectorIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := RandN(rng, 6, 5, 1)
+	v := RandN(rng, 1, 5, 1)
+	want := a.AddRowVector(v)
+
+	// Fresh destination.
+	dst := New(6, 5)
+	AddRowVectorInto(dst, a, v)
+	if !Equal(want, dst, 0) {
+		t.Fatal("AddRowVectorInto (fresh dst) differs from AddRowVector")
+	}
+	// In place: dst aliases a.
+	ac := a.Clone()
+	AddRowVectorInto(ac, ac, v)
+	if !Equal(want, ac, 0) {
+		t.Fatal("AddRowVectorInto (aliased) differs from AddRowVector")
+	}
+}
+
+// TestAddRowVectorApplyIntoFusesBiasAndActivation compares the fused
+// epilogue against the unfused AddRowVector + Apply composition.
+func TestAddRowVectorApplyIntoFusesBiasAndActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	relu := func(x float64) float64 { return math.Max(x, 0) }
+	a := RandN(rng, 7, 11, 1)
+	v := RandN(rng, 1, 11, 1)
+	want := a.AddRowVector(v).Apply(relu)
+
+	got := a.Clone()
+	AddRowVectorApplyInto(got, got, v, relu)
+	if !Equal(want, got, 0) {
+		t.Fatal("fused epilogue differs from AddRowVector + Apply")
+	}
+}
+
+func TestArenaRecyclesBuffers(t *testing.T) {
+	var ar Arena
+	// sync.Pool is best-effort — and deliberately lossy under the race
+	// detector — so require recycling to happen at least once across many
+	// rounds rather than on any single Put/Get pair.
+	recycled := false
+	var backing *float64
+	for i := 0; i < 100 && !recycled; i++ {
+		m := ar.Get(8, 16)
+		if m.Rows != 8 || m.Cols != 16 || len(m.Data) != 128 {
+			t.Fatalf("Get returned %dx%d (len %d)", m.Rows, m.Cols, len(m.Data))
+		}
+		backing = &m.Data[:cap(m.Data)][0]
+		ar.Put(m)
+
+		// A smaller request may reuse the pooled buffer, reshaped.
+		m2 := ar.Get(4, 8)
+		if m2.Rows != 4 || m2.Cols != 8 || len(m2.Data) != 32 {
+			t.Fatalf("reshaped Get returned %dx%d (len %d)", m2.Rows, m2.Cols, len(m2.Data))
+		}
+		recycled = &m2.Data[:cap(m2.Data)][0] == backing
+	}
+	if !recycled {
+		t.Error("Get never recycled a pooled buffer across 100 rounds")
+	}
+
+	// A larger request cannot reuse the last pooled buffer and must
+	// allocate fresh at the requested size.
+	m3 := ar.Get(32, 32)
+	if len(m3.Data) != 1024 {
+		t.Fatalf("oversized Get returned len %d", len(m3.Data))
+	}
+	if &m3.Data[0] == backing {
+		t.Error("Get handed out an undersized buffer")
+	}
+}
+
+func TestArenaZeroValueAndNilPut(t *testing.T) {
+	var ar Arena
+	ar.Put(nil)       // must not panic
+	ar.Put(New(0, 0)) // empty buffers are not pooled
+	m := ar.Get(2, 2) // still works
+	if len(m.Data) != 4 {
+		t.Fatalf("Get after nil Put returned len %d", len(m.Data))
+	}
+}
+
+func BenchmarkMatMulIntoTallSkinny(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := RandN(rng, 16, 512, 1)
+	w := RandN(rng, 512, 512, 1)
+	dst := New(16, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, w)
+	}
+}
+
+func BenchmarkMatMulAllocTallSkinny(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := RandN(rng, 16, 512, 1)
+	w := RandN(rng, 512, 512, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMul(w)
+	}
+}
+
+// TestParallelForPropagatesPanics: a panic in a worker chunk must surface
+// in the calling goroutine (where serve's recover handlers live), not crash
+// the process from an unrecoverable goroutine.
+func TestParallelForPropagatesPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	// Enough items that the fan-out actually spawns goroutines.
+	ParallelFor(1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 777 {
+				panic("worker boom")
+			}
+		}
+	})
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 64, 1025} {
+		hits := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}

@@ -10,8 +10,6 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -228,24 +226,9 @@ func (m *Matrix) MatMul(o *Matrix) *Matrix {
 		matMulRange(m, o, r, 0, m.Rows)
 		return r
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (m.Rows + workers - 1) / workers
-	for lo := 0; lo < m.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > m.Rows {
-			hi = m.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(m, o, r, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelFor(m.Rows, func(lo, hi int) {
+		matMulRange(m, o, r, lo, hi)
+	})
 	return r
 }
 

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	ad "neusight/internal/autodiff"
+	"neusight/internal/mat"
+)
+
+// compiledParityTol is the satellite-task bound: compiled inference must
+// match the autodiff forward pass to 1e-12. (In practice the paths are
+// bit-identical; the tolerance guards against future refactors of either.)
+const compiledParityTol = 1e-12
+
+// TestCompiledForwardMatchesAutodiff is the property-style parity sweep:
+// every activation x several depths x several widths x several seeds and
+// batch sizes, compiled vs autodiff.
+func TestCompiledForwardMatchesAutodiff(t *testing.T) {
+	acts := []Activation{ActReLU, ActTanh, ActGELU, ActSigmoid}
+	depths := []int{1, 2, 4}
+	for _, act := range acts {
+		for _, layers := range depths {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("act=%d/layers=%d/seed=%d", act, layers, seed)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					cfg := MLPConfig{
+						In: 5, Hidden: 8 * int(seed), Out: 2,
+						Layers: layers, Activation: act,
+					}
+					m := NewMLP(rng, cfg)
+					cm := Compile(m)
+					for _, batch := range []int{1, 7, 64} {
+						x := mat.RandN(rng, batch, cfg.In, 2)
+						want := m.Forward(ad.NewConstant(x)).Data
+						got := cm.Forward(x)
+						if !mat.Equal(want, got, compiledParityTol) {
+							t.Fatalf("batch %d: compiled forward diverges from autodiff by > %g", batch, compiledParityTol)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestForwardIntoAndForwardRowAgree checks the three entry points produce
+// identical heads and that reusing dst across calls is safe.
+func TestForwardIntoAndForwardRowAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, MLPConfig{In: 5, Hidden: 16, Out: 2, Layers: 3, Activation: ActReLU})
+	cm := Compile(m)
+	x := mat.RandN(rng, 9, 5, 1)
+	want := cm.Forward(x)
+
+	dst := mat.New(9, 2)
+	for i := 0; i < 3; i++ { // repeated reuse must stay correct
+		cm.ForwardInto(dst, x)
+		if !mat.Equal(want, dst, 0) {
+			t.Fatalf("ForwardInto pass %d differs from Forward", i)
+		}
+	}
+
+	var out []float64
+	for i := 0; i < x.Rows; i++ {
+		out = cm.ForwardRow(x.Row(i), out)
+		for j, v := range out {
+			if v != want.At(i, j) {
+				t.Fatalf("ForwardRow(%d)[%d] = %v, want %v", i, j, v, want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestCompileSnapshotsWeights verifies Compile deep-copies: mutating (or
+// retraining) the source MLP must not change compiled predictions.
+func TestCompileSnapshotsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, MLPConfig{In: 3, Hidden: 8, Out: 2, Layers: 2, Activation: ActTanh})
+	cm := Compile(m)
+	x := mat.RandN(rng, 4, 3, 1)
+	before := cm.Forward(x)
+
+	for _, p := range m.Params() {
+		p.Data.Fill(123.456) // simulate a training step clobbering weights
+	}
+	after := cm.Forward(x)
+	if !mat.Equal(before, after, 0) {
+		t.Fatal("compiled output changed when source MLP weights were mutated")
+	}
+}
+
+// TestCompiledConcurrentForward hammers one CompiledMLP from many
+// goroutines (run under -race by scripts/check.sh) and checks every result
+// against the serial reference — shared arena buffers must never bleed
+// between concurrent passes.
+func TestCompiledConcurrentForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, MLPConfig{In: 5, Hidden: 32, Out: 2, Layers: 3, Activation: ActGELU})
+	cm := Compile(m)
+
+	const goroutines = 16
+	inputs := make([]*mat.Matrix, goroutines)
+	want := make([]*mat.Matrix, goroutines)
+	for i := range inputs {
+		inputs[i] = mat.RandN(rng, 1+i%5, 5, 1)
+		want[i] = cm.Forward(inputs[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := mat.New(inputs[i].Rows, 2)
+			for iter := 0; iter < 200; iter++ {
+				cm.ForwardInto(dst, inputs[i])
+				if !mat.Equal(want[i], dst, 0) {
+					errs <- fmt.Errorf("goroutine %d iter %d: concurrent forward diverged", i, iter)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCompiledMLPShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cm := Compile(NewMLP(rng, MLPConfig{In: 5, Hidden: 8, Out: 2, Layers: 1, Activation: ActReLU}))
+	for name, f := range map[string]func(){
+		"wrong input width": func() { cm.Forward(mat.New(1, 4)) },
+		"wrong dst shape":   func() { cm.ForwardInto(mat.New(1, 3), mat.New(1, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// batchGroup tracks one unique cache-miss key within a batch: the in-flight
+// call this batch leads for it, the position that will feed the backend,
+// and every other batch position that deduplicates onto it.
+type batchGroup struct {
+	call   *inflightCall
+	leader int
+	dups   []int
+}
+
+// PredictBatch forecasts every kernel in ks on g, amortizing one backend
+// evaluation across all cache misses. The layering mirrors PredictKernel,
+// batch-wide:
+//
+//  1. cache hits are served immediately;
+//  2. identical misses within the batch deduplicate onto one evaluation,
+//     and misses already in flight elsewhere (another batch or a concurrent
+//     PredictKernel) coalesce onto that evaluation instead of repeating it;
+//  3. the remaining unique misses go to the backend in a single
+//     PredictKernels call when the backend supports batching (one compiled
+//     forward pass for the whole set), else per-kernel under the pool.
+//
+// Results are positional and per-item: a failed item (network kernel,
+// untrained category, backend error) reports in errs[i] without affecting
+// its neighbors. Successful misses populate the cache. Safe for arbitrary
+// concurrent use.
+//
+// Trade-off: every key this batch leads resolves when the batch's single
+// backend round completes, so a concurrent request coalescing onto one of
+// them waits for the whole round rather than one kernel. That is inherent
+// to evaluating the misses in one forward pass — the alternative (not
+// registering led keys in flight) would duplicate backend work instead.
+func (s *Service) PredictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+	s.batches.Add(1)
+	s.batchedKernels.Add(uint64(len(ks)))
+	return s.predictBatch(ks, g)
+}
+
+// predictBatch implements PredictBatch without touching the batch-API
+// counters, so internal callers (PredictGraph) reuse the machinery while
+// batch_requests/batched_kernels keep meaning "client batch calls".
+func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+	start := time.Now()
+	s.requests.Add(uint64(len(ks)))
+	s.inFlightNow.Add(1)
+	defer func() {
+		s.inFlightNow.Add(-1)
+		s.lat.Observe(time.Since(start))
+	}()
+
+	lats = make([]float64, len(ks))
+	errs = make([]error, len(ks))
+
+	// Partition the batch: cache hits, misses we lead, and misses another
+	// goroutine is already evaluating. Both kinds of miss deduplicate by
+	// key, so a batch full of one kernel costs one evaluation (or one wait)
+	// and counts one miss — not one per occurrence.
+	groups := map[string]*batchGroup{}  // keys this batch leads
+	waiting := map[string]*batchGroup{} // keys in flight elsewhere
+	var missKeys []string               // insertion order, so backend input is deterministic
+	for i, k := range ks {
+		if k.Category() == kernels.CatNetwork {
+			s.errors.Add(1)
+			errs[i] = fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
+			continue
+		}
+		key := cacheKey(k, g)
+		if grp, ok := groups[key]; ok { // duplicate of a miss we lead
+			grp.dups = append(grp.dups, i)
+			continue
+		}
+		if grp, ok := waiting[key]; ok { // duplicate of a coalesced miss
+			grp.dups = append(grp.dups, i)
+			continue
+		}
+		if v, ok := s.cache.Get(key); ok {
+			lats[i] = v
+			continue
+		}
+		s.mu.Lock()
+		if call, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			s.coalesced.Add(1)
+			waiting[key] = &batchGroup{call: call, leader: i}
+			continue
+		}
+		call := &inflightCall{done: make(chan struct{})}
+		s.inflight[key] = call
+		s.mu.Unlock()
+		groups[key] = &batchGroup{call: call, leader: i}
+		missKeys = append(missKeys, key)
+	}
+
+	// One backend round for every unique miss this batch leads.
+	if len(missKeys) > 0 {
+		uniq := make([]kernels.Kernel, len(missKeys))
+		for j, key := range missKeys {
+			uniq[j] = ks[groups[key].leader]
+		}
+		vals, verrs := s.runBatchBackend(uniq, g)
+		for j, key := range missKeys {
+			grp := groups[key]
+			grp.call.val, grp.call.err = vals[j], verrs[j]
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(grp.call.done)
+			if grp.call.err == nil {
+				s.cache.Put(key, grp.call.val)
+			}
+			for _, i := range append(grp.dups, grp.leader) {
+				if grp.call.err != nil {
+					s.errors.Add(1)
+					errs[i] = grp.call.err
+				} else {
+					lats[i] = grp.call.val
+				}
+			}
+		}
+	}
+
+	// Collect results from evaluations led elsewhere. These were started
+	// before our backend round, so waiting after it never deadlocks.
+	for _, grp := range waiting {
+		<-grp.call.done
+		for _, i := range append(grp.dups, grp.leader) {
+			if grp.call.err != nil {
+				s.errors.Add(1)
+				errs[i] = grp.call.err
+			} else {
+				lats[i] = grp.call.val
+			}
+		}
+	}
+	return lats, errs
+}
+
+// runBatchBackend evaluates the unique misses of one batch. A batch-capable
+// backend gets them in one PredictKernels call under a single worker-pool
+// slot (the whole point: one compiled forward pass); a plain backend gets
+// per-kernel calls fanned out across the pool, preserving the concurrency a
+// cold graph walk had before batching existed. A backend panic — or a batch
+// backend returning mis-sized results — is converted into per-item errors
+// so every in-flight call is still resolved; nothing wedges.
+func (s *Service) runBatchBackend(ks []kernels.Kernel, g gpu.Spec) (vals []float64, errs []error) {
+	if bp, ok := s.pred.(BatchKernelPredictor); ok {
+		defer func() {
+			if r := recover(); r != nil {
+				err := fmt.Errorf("serve: backend panic predicting batch of %d: %v", len(ks), r)
+				vals = make([]float64, len(ks))
+				errs = make([]error, len(ks))
+				for i := range errs {
+					errs[i] = err
+				}
+			}
+		}()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		vals, errs = bp.PredictKernels(ks, g)
+		if len(vals) != len(ks) || len(errs) != len(ks) {
+			panic(fmt.Sprintf("batch backend returned %d/%d results for %d kernels", len(vals), len(errs), len(ks)))
+		}
+		return vals, errs
+	}
+
+	// Backend without batch support: fan the kernels across the worker
+	// pool, one slot per prediction, mirroring the per-kernel path.
+	vals = make([]float64, len(ks))
+	errs = make([]error, len(ks))
+	var wg sync.WaitGroup
+	for i, k := range ks {
+		wg.Add(1)
+		go func(i int, k kernels.Kernel) {
+			defer wg.Done()
+			vals[i], errs[i] = s.callBackend(k, g)
+		}(i, k)
+	}
+	wg.Wait()
+	return vals, errs
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+)
+
+// batchStub is a backend with native batch support: it records every batch
+// size it receives so tests can assert misses were actually batched, not
+// looped.
+type batchStub struct {
+	stubPredictor
+	batchCalls atomic.Int64
+	mu         sync.Mutex
+	sizes      []int
+}
+
+func (s *batchStub) PredictKernels(ks []kernels.Kernel, g gpu.Spec) ([]float64, []error) {
+	s.batchCalls.Add(1)
+	s.mu.Lock()
+	s.sizes = append(s.sizes, len(ks))
+	s.mu.Unlock()
+	vals := make([]float64, len(ks))
+	errs := make([]error, len(ks))
+	for i, k := range ks {
+		vals[i], errs[i] = s.stubPredictor.PredictKernel(k, g)
+	}
+	return vals, errs
+}
+
+func (s *batchStub) recordedSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.sizes...)
+}
+
+func TestPredictBatchDedupsAndCaches(t *testing.T) {
+	stub := &batchStub{stubPredictor: stubPredictor{latency: 2.5}}
+	svc := New(stub, Config{CacheSize: 64})
+	g := gpu.MustLookup("V100")
+
+	k1 := kernels.NewBMM(2, 64, 64, 64)
+	k2 := kernels.NewSoftmax(128, 128)
+	// Prime the cache with k1.
+	if _, err := svc.PredictKernel(k1, g); err != nil {
+		t.Fatal(err)
+	}
+
+	ks := []kernels.Kernel{k1, k2, k2, kernels.NewAllReduce(4096), k2}
+	lats, errs := svc.PredictBatch(ks, g)
+
+	if errs[0] != nil || lats[0] != 2.5 {
+		t.Errorf("cached item = (%v, %v), want hit", lats[0], errs[0])
+	}
+	for _, i := range []int{1, 2, 4} {
+		if errs[i] != nil || lats[i] != 2.5 {
+			t.Errorf("item %d = (%v, %v), want 2.5", i, lats[i], errs[i])
+		}
+	}
+	if errs[3] == nil {
+		t.Error("network kernel must fail in place")
+	}
+	// The three k2 occurrences must deduplicate onto ONE backend item in
+	// ONE batched call; k1 must not reach the backend again.
+	if got := stub.recordedSizes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("backend batch sizes = %v, want [1]", got)
+	}
+	st := svc.Stats()
+	if st.BatchRequests != 1 || st.BatchedKernels != 5 {
+		t.Errorf("batch stats = %d calls / %d kernels, want 1/5", st.BatchRequests, st.BatchedKernels)
+	}
+	if st.CacheLen != 2 {
+		t.Errorf("cache len = %d, want 2 (k1 and k2)", st.CacheLen)
+	}
+	// A follow-up batch is served entirely from cache.
+	svc.PredictBatch([]kernels.Kernel{k1, k2}, g)
+	if got := stub.batchCalls.Load(); got != 1 {
+		t.Errorf("backend batch calls = %d, want 1 (second batch fully cached)", got)
+	}
+}
+
+// TestPredictBatchFallsBackWithoutBatchBackend: a plain KernelPredictor
+// still works — unique misses are evaluated per kernel, fanned across the
+// worker pool rather than serialized under one slot.
+func TestPredictBatchFallsBackWithoutBatchBackend(t *testing.T) {
+	stub := &stubPredictor{latency: 1.5, gate: make(chan struct{})}
+	svc := New(stub, Config{CacheSize: 64, Workers: 4})
+	g := gpu.MustLookup("V100")
+	ks := []kernels.Kernel{
+		kernels.NewBMM(1, 16, 16, 16),
+		kernels.NewBMM(1, 32, 32, 32),
+		kernels.NewBMM(1, 48, 48, 48),
+		kernels.NewBMM(1, 16, 16, 16), // dup
+	}
+	done := make(chan struct{})
+	var lats []float64
+	var errs []error
+	go func() {
+		defer close(done)
+		lats, errs = svc.PredictBatch(ks, g)
+	}()
+	// The three unique misses must run concurrently (pool fan-out), not
+	// serialized under a single slot.
+	waitFor(t, "3 concurrent fallback predictions", func() bool { return stub.active.Load() == 3 })
+	close(stub.gate)
+	<-done
+	for i := range ks {
+		if errs[i] != nil || lats[i] != 1.5 {
+			t.Errorf("item %d = (%v, %v), want 1.5", i, lats[i], errs[i])
+		}
+	}
+	if got := stub.calls.Load(); got != 3 {
+		t.Errorf("backend calls = %d, want 3 (dup deduplicated)", got)
+	}
+}
+
+// TestPredictGraphDoesNotCountAsBatchRequest: batch_requests/batched_kernels
+// track client batch calls only; internal graph batching must not move them.
+func TestPredictGraphDoesNotCountAsBatchRequest(t *testing.T) {
+	stub := &stubPredictor{latency: 1}
+	svc := New(stub, Config{CacheSize: 16})
+	gr := graph.New("t")
+	a := gr.Add(kernels.NewBMM(2, 64, 64, 64))
+	gr.Add(kernels.NewSoftmax(128, 64), a)
+	svc.PredictGraph(gr, gpu.MustLookup("V100"))
+	st := svc.Stats()
+	if st.BatchRequests != 0 || st.BatchedKernels != 0 {
+		t.Errorf("graph traffic moved batch counters: %d/%d, want 0/0", st.BatchRequests, st.BatchedKernels)
+	}
+	if st.Requests != 2 || st.GraphRequests != 1 {
+		t.Errorf("requests/graphs = %d/%d, want 2/1", st.Requests, st.GraphRequests)
+	}
+}
+
+// TestPredictBatchCoalescesWithInflightSingles: a batch containing a key
+// that a concurrent PredictKernel is already evaluating must wait for that
+// evaluation rather than repeating it.
+func TestPredictBatchCoalescesWithInflightSingles(t *testing.T) {
+	stub := &batchStub{stubPredictor: stubPredictor{latency: 7, gate: make(chan struct{})}}
+	svc := New(stub, Config{CacheSize: 64, Workers: 4})
+	g := gpu.MustLookup("V100")
+	k1 := kernels.NewBMM(4, 48, 48, 48)
+	k2 := kernels.NewLayerNorm(64, 256)
+
+	// Lead k1 via the single-kernel path, blocked on the gate.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svc.PredictKernel(k1, g)
+	}()
+	waitFor(t, "k1 in flight", func() bool { return stub.active.Load() == 1 })
+
+	// The batch leads k2 itself but must coalesce onto the in-flight k1 —
+	// once, not once per duplicate occurrence of k1.
+	done := make(chan struct{})
+	var lats []float64
+	var errs []error
+	go func() {
+		defer close(done)
+		lats, errs = svc.PredictBatch([]kernels.Kernel{k1, k1, k2, k1}, g)
+	}()
+	waitFor(t, "batch coalesced onto k1", func() bool { return svc.Stats().Coalesced == 1 })
+	close(stub.gate)
+	wg.Wait()
+	<-done
+
+	for i := range lats {
+		if errs[i] != nil || lats[i] != 7 {
+			t.Errorf("item %d = (%v, %v), want 7", i, lats[i], errs[i])
+		}
+	}
+	// k1 went through the single path; only k2 reached the batch backend.
+	if got := stub.recordedSizes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("backend batch sizes = %v, want [1]", got)
+	}
+	st := svc.Stats()
+	if st.Coalesced != 1 {
+		t.Errorf("coalesced = %d, want 1 (duplicates must not re-coalesce)", st.Coalesced)
+	}
+	// Misses: one for k1's single-path lead, one for k1 in the batch, one
+	// for k2 — duplicate occurrences of an in-flight key count nothing.
+	if st.CacheMisses != 3 {
+		t.Errorf("cache misses = %d, want 3 (duplicates of an in-flight key must not count)", st.CacheMisses)
+	}
+}
+
+// TestPredictBatchBackendPanicFailsItemsWithoutWedging mirrors the
+// single-path panic test: every item errors, no key stays in flight.
+func TestPredictBatchBackendPanicFailsItemsWithoutWedging(t *testing.T) {
+	stub := &batchStub{stubPredictor: stubPredictor{latency: 3}}
+	svc := New(stub, Config{CacheSize: 64, Workers: 1})
+	g := gpu.MustLookup("V100")
+	ks := []kernels.Kernel{kernels.NewBMM(2, 40, 40, 40), kernels.NewSoftmax(32, 64)}
+
+	stub.panicOnce.Store(true)
+	_, errs := svc.PredictBatch(ks, g)
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panic") {
+			t.Errorf("item %d error = %v, want backend panic error", i, err)
+		}
+	}
+	// Keys must not be wedged and the pool slot must be free.
+	lats, errs := svc.PredictBatch(ks, g)
+	for i := range ks {
+		if errs[i] != nil || lats[i] != 3 {
+			t.Errorf("retry item %d = (%v, %v), want 3", i, lats[i], errs[i])
+		}
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	svc := New(&stubPredictor{latency: 1}, Config{CacheSize: 16})
+	lats, errs := svc.PredictBatch(nil, gpu.MustLookup("V100"))
+	if len(lats) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d/%d results", len(lats), len(errs))
+	}
+}
+
+// TestPredictBatchConcurrent drives many overlapping batches (run under
+// -race by scripts/check.sh): every item must resolve to the right value
+// and the cache must converge to one entry per unique kernel.
+func TestPredictBatchConcurrent(t *testing.T) {
+	stub := &batchStub{stubPredictor: stubPredictor{latency: 2}}
+	svc := New(stub, Config{CacheSize: 256})
+	g := gpu.MustLookup("H100")
+	var pool []kernels.Kernel
+	for i := 0; i < 24; i++ {
+		pool = append(pool, kernels.NewBMM(1, 8+i, 8, 8))
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				lo := (w + iter) % (len(pool) - 11) // windows cover every pool index
+				ks := pool[lo : lo+12]
+				lats, errs := svc.PredictBatch(ks, g)
+				for i := range ks {
+					if errs[i] != nil {
+						errCh <- errs[i]
+						return
+					}
+					if lats[i] != 2 {
+						errCh <- fmt.Errorf("unexpected batch latency %v", lats[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if got := int(stub.calls.Load()); got < len(pool) {
+		t.Errorf("backend evaluations = %d, want >= %d (every unique kernel)", got, len(pool))
+	}
+	if got := svc.Stats().CacheLen; got != len(pool) {
+		t.Errorf("cache len = %d, want %d", got, len(pool))
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -38,6 +39,31 @@ type KernelResponse struct {
 	LatencyMs float64 `json:"latency_ms"`
 	FLOPs     float64 `json:"flops"`
 	MemBytes  float64 `json:"mem_bytes"`
+}
+
+// BatchRequest is the JSON body of POST /v1/predict/batch: forecast many
+// kernels on one GPU in a single round trip. Misses are deduplicated and
+// evaluated in one batched forward pass; hits come straight from the cache.
+type BatchRequest struct {
+	GPU     string          `json:"gpu"`
+	Kernels []KernelRequest `json:"kernels"` // per-item GPU fields are ignored
+}
+
+// BatchItem is one per-kernel result inside a BatchResponse. Exactly one of
+// Error or a valid LatencyMs is meaningful: a malformed or unpredictable
+// item reports its error in place without failing the rest of the batch.
+type BatchItem struct {
+	Kernel    string  `json:"kernel,omitempty"`
+	LatencyMs float64 `json:"latency_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON reply of /v1/predict/batch. Items are
+// positional: Items[i] answers Kernels[i] of the request.
+type BatchResponse struct {
+	GPU   string      `json:"gpu"`
+	Count int         `json:"count"`
+	Items []BatchItem `json:"items"`
 }
 
 // GraphRequest is the JSON body of POST /v1/predict/graph: forecast a
@@ -129,31 +155,125 @@ func buildKernel(req KernelRequest) (kernels.Kernel, error) {
 	return k, nil
 }
 
+// maxDim bounds each requested kernel dimension. It is far beyond any real
+// DNN operator, yet small enough that every downstream int product (tile
+// counts over three output dims, token counts) stays well inside 64 bits
+// instead of overflowing into panics or garbage latencies.
+const maxDim = 1 << 20
+
 func positive(op string, dims ...int) error {
 	for _, d := range dims {
 		if d <= 0 {
 			return fmt.Errorf("%s requires positive dimensions, got %v", op, dims)
 		}
+		if d > maxDim {
+			return fmt.Errorf("%s dimension %d exceeds the %d limit", op, d, maxDim)
+		}
 	}
 	return nil
+}
+
+// maxBodyBytes caps every request body: the largest legitimate payload (a
+// full-size batch of kernel specs) is well under a megabyte, so anything
+// bigger is rejected before it is buffered.
+const maxBodyBytes = 1 << 20
+
+// MaxBatchKernels bounds one /v1/predict/batch request. A batch holds a
+// worker-pool slot for its whole backend round, so an unbounded batch could
+// starve every other request; the cap comfortably covers the largest
+// registered workload graph.
+const MaxBatchKernels = 4096
+
+// MaxGraphBatch bounds /v1/predict/graph batch sizes: graph construction
+// multiplies batch into token and attention-row counts as ints, so an
+// absurd batch would overflow before physics had a chance to object.
+const MaxGraphBatch = 1 << 16
+
+// decodeBody decodes a size-limited JSON request body into v. On failure it
+// writes the error response itself — 413 with the limit when the body blew
+// the size cap (so clients know to split, not to fix their JSON), 400
+// otherwise — and reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit; split the request", maxBodyBytes))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	return false
 }
 
 // NewHandler returns the HTTP API for s:
 //
 //	POST /v1/predict/kernel  — one kernel forecast (KernelRequest)
+//	POST /v1/predict/batch   — many kernels, one batched forecast (BatchRequest)
 //	POST /v1/predict/graph   — end-to-end workload forecast (GraphRequest)
 //	GET  /v1/healthz         — liveness probe
 //	GET  /v1/stats           — cache hit rate, latency percentiles, counters
+//	GET  /metrics            — the same counters in Prometheus text format
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req BatchRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if len(req.Kernels) == 0 {
+			writeError(w, http.StatusBadRequest, "empty batch: provide at least one kernel")
+			return
+		}
+		if len(req.Kernels) > MaxBatchKernels {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d exceeds the %d-kernel limit; split the request", len(req.Kernels), MaxBatchKernels))
+			return
+		}
+		g, err := gpu.Lookup(req.GPU)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		items := make([]BatchItem, len(req.Kernels))
+		// Build what parses; malformed items fail in place so one bad
+		// entry cannot poison the rest of the batch.
+		ks := make([]kernels.Kernel, 0, len(req.Kernels))
+		pos := make([]int, 0, len(req.Kernels)) // batch position -> item index
+		for i, kr := range req.Kernels {
+			k, err := buildKernel(kr)
+			if err != nil {
+				items[i].Error = err.Error()
+				continue
+			}
+			items[i].Kernel = k.Label()
+			ks = append(ks, k)
+			pos = append(pos, i)
+		}
+		lats, errs := s.PredictBatch(ks, g)
+		for j, i := range pos {
+			if errs[j] != nil {
+				items[i].Error = errs[j].Error()
+				continue
+			}
+			items[i].LatencyMs = lats[j]
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{GPU: g.Name, Count: len(items), Items: items})
+	})
 	mux.HandleFunc("/v1/predict/kernel", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		var req KernelRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		k, err := buildKernel(req)
@@ -182,12 +302,16 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		var req GraphRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		if req.Batch <= 0 {
 			req.Batch = 1
+		}
+		if req.Batch > MaxGraphBatch {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch %d exceeds the %d limit", req.Batch, MaxGraphBatch))
+			return
 		}
 		m, err := models.Lookup(req.Workload)
 		if err != nil {
@@ -222,6 +346,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/metrics", metricsHandler(s))
 	return mux
 }
 

@@ -3,8 +3,11 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -166,5 +169,232 @@ func TestHTTPStats(t *testing.T) {
 	}
 	if st.Backend != "stub" || st.UptimeSec < 0 {
 		t.Errorf("stats metadata wrong: %+v", st)
+	}
+}
+
+func TestHTTPPredictBatchRoundTrip(t *testing.T) {
+	ts, stub := newTestServer(t)
+	req := BatchRequest{
+		GPU: "H100",
+		Kernels: []KernelRequest{
+			{Op: "bmm", B: 4, M: 256, K: 256, N: 256},
+			{Op: "softmax", B: 64, M: 512},
+			{Op: "conv9d", B: 1, M: 1},                // malformed: fails in place
+			{Op: "bmm", B: 4, M: 256, K: 256, N: 256}, // duplicate of [0]
+		},
+	}
+	resp := postJSON(t, ts.URL+"/v1/predict/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	br := decode[BatchResponse](t, resp)
+	if br.GPU != "H100" || br.Count != 4 || len(br.Items) != 4 {
+		t.Fatalf("batch response shape wrong: %+v", br)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if br.Items[i].Error != "" || br.Items[i].LatencyMs != 4.25 {
+			t.Errorf("item %d = %+v, want latency 4.25", i, br.Items[i])
+		}
+		if br.Items[i].Kernel == "" {
+			t.Errorf("item %d missing kernel label", i)
+		}
+	}
+	if br.Items[2].Error == "" {
+		t.Error("malformed item must carry an in-place error")
+	}
+	// Duplicate + dedup: only two unique kernels reach the backend.
+	if got := stub.calls.Load(); got != 2 {
+		t.Errorf("backend calls = %d, want 2", got)
+	}
+}
+
+func TestHTTPPredictBatchValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  BatchRequest
+		want int
+	}{
+		{"empty batch", BatchRequest{GPU: "V100"}, http.StatusBadRequest},
+		{"unknown gpu", BatchRequest{GPU: "TPUv9", Kernels: []KernelRequest{{Op: "softmax", B: 1, M: 1}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/predict/batch", c.req)
+			defer resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, c.want)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/v1/predict/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsExpositionFormat asserts the Prometheus text format
+// contract: content type 0.0.4, a "# HELP" and "# TYPE" line preceding
+// every sample, parseable float values, and the serve counters present
+// with the values /v1/stats reports.
+func TestHTTPMetricsExpositionFormat(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// One miss then one hit so counters are non-trivial.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/predict/kernel", KernelRequest{
+			Op: "layernorm", B: 64, M: 1024, GPU: "V100",
+		})
+		resp.Body.Close()
+	}
+	// And one batch so the batch metrics move.
+	resp := postJSON(t, ts.URL+"/v1/predict/batch", BatchRequest{
+		GPU: "V100", Kernels: []KernelRequest{{Op: "softmax", B: 8, M: 128}, {Op: "softmax", B: 16, M: 128}},
+	})
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Errorf("content type = %q, want %q", ct, MetricsContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := map[string]float64{}
+	var lastHelp, lastType string
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			lastType = f[2]
+			if typ := f[3]; typ != "counter" && typ != "gauge" {
+				t.Errorf("metric %s has invalid type %q", lastType, typ)
+			}
+			if lastType != lastHelp {
+				t.Errorf("TYPE line for %s not paired with HELP line (%s)", lastType, lastHelp)
+			}
+		default:
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			if f[0] != lastType {
+				t.Errorf("sample %s not preceded by its TYPE line (%s)", f[0], lastType)
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				t.Fatalf("sample %q has unparseable value: %v", line, err)
+			}
+			samples[f[0]] = v
+		}
+	}
+
+	want := map[string]float64{
+		"neusight_requests_total":        4, // 2 singles + 2 batched
+		"neusight_cache_hits_total":      1,
+		"neusight_cache_misses_total":    3,
+		"neusight_batch_requests_total":  1,
+		"neusight_batched_kernels_total": 2,
+		"neusight_batch_size_avg":        2,
+		"neusight_errors_total":          0,
+		"neusight_inflight_requests":     0,
+	}
+	for name, v := range want {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("metric %s missing from exposition", name)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if _, ok := samples["neusight_uptime_seconds"]; !ok {
+		t.Error("uptime gauge missing")
+	}
+}
+
+// TestHTTPRequestLimits covers the resource bounds: oversized bodies and
+// oversized batches are rejected with 400 before any backend work.
+func TestHTTPRequestLimits(t *testing.T) {
+	ts, stub := newTestServer(t)
+
+	// A batch over the kernel cap.
+	over := BatchRequest{GPU: "V100", Kernels: make([]KernelRequest, MaxBatchKernels+1)}
+	for i := range over.Kernels {
+		over.Kernels[i] = KernelRequest{Op: "softmax", B: 1 + i, M: 8}
+	}
+	resp := postJSON(t, ts.URL+"/v1/predict/batch", over)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d, want 400", resp.StatusCode)
+	}
+	if got := stub.calls.Load(); got != 0 {
+		t.Errorf("oversized batch reached the backend (%d calls)", got)
+	}
+
+	// A body over the byte cap: valid JSON prefix, then megabytes of junk.
+	big := bytes.NewBufferString(`{"gpu":"V100","kernels":[{"op":"softmax","b":1,"m":8}],"pad":"`)
+	big.Write(bytes.Repeat([]byte("x"), maxBodyBytes+1024))
+	big.WriteString(`"}`)
+	r, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", r.StatusCode)
+	}
+	e := decode[map[string]string](t, r)
+	if !strings.Contains(e["error"], "byte limit") {
+		t.Errorf("413 body does not name the limit: %v", e)
+	}
+}
+
+// TestHTTPDimensionAndBatchBounds: absurd dimensions and graph batch
+// values must be rejected with 400, not overflow int arithmetic into a
+// handler panic (graph construction multiplies batch into token counts).
+func TestHTTPDimensionAndBatchBounds(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Kernel dimension over maxDim.
+	resp := postJSON(t, ts.URL+"/v1/predict/kernel", KernelRequest{
+		Op: "bmm", B: 1, M: maxDim + 1, K: 64, N: 64, GPU: "V100",
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized dimension status = %d, want 400", resp.StatusCode)
+	}
+
+	// Graph batch large enough that batch*SeqLen would overflow int64.
+	resp = postJSON(t, ts.URL+"/v1/predict/graph", GraphRequest{
+		Workload: "GPT3-XL", GPU: "V100", Batch: 1 << 62,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("overflowing graph batch status = %d, want 400", resp.StatusCode)
+	}
+
+	// A legitimate large-but-sane graph batch still works.
+	resp = postJSON(t, ts.URL+"/v1/predict/graph", GraphRequest{
+		Workload: "BERT-Large", GPU: "V100", Batch: 64,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("sane graph batch status = %d, want 200", resp.StatusCode)
 	}
 }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MetricsContentType is the Prometheus text exposition content type served
+// on /metrics.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric is one exported sample: HELP/TYPE metadata plus a value.
+type promMetric struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value float64
+}
+
+// metricsFor flattens a Stats snapshot into the exported series. Counters
+// are cumulative since process start; gauges are instantaneous.
+func metricsFor(st Stats) []promMetric {
+	avgBatch := 0.0
+	if st.BatchRequests > 0 {
+		avgBatch = float64(st.BatchedKernels) / float64(st.BatchRequests)
+	}
+	return []promMetric{
+		{"neusight_requests_total", "Kernel predictions requested (single and batched).", "counter", float64(st.Requests)},
+		{"neusight_graph_requests_total", "End-to-end graph forecasts requested.", "counter", float64(st.GraphRequests)},
+		{"neusight_batch_requests_total", "Batched prediction calls received.", "counter", float64(st.BatchRequests)},
+		{"neusight_batched_kernels_total", "Kernels submitted through batched prediction calls.", "counter", float64(st.BatchedKernels)},
+		{"neusight_cache_hits_total", "Prediction cache hits.", "counter", float64(st.CacheHits)},
+		{"neusight_cache_misses_total", "Prediction cache misses.", "counter", float64(st.CacheMisses)},
+		{"neusight_coalesced_total", "Requests coalesced onto an identical in-flight prediction.", "counter", float64(st.Coalesced)},
+		{"neusight_errors_total", "Predictions that returned an error.", "counter", float64(st.Errors)},
+		{"neusight_cache_entries", "Prediction cache entries currently resident.", "gauge", float64(st.CacheLen)},
+		{"neusight_inflight_requests", "Prediction requests currently being served.", "gauge", float64(st.InFlight)},
+		{"neusight_batch_size_avg", "Mean kernels per batched prediction call.", "gauge", avgBatch},
+		{"neusight_request_latency_p50_ms", "Request latency p50 over the recent window (ms).", "gauge", st.LatencyP50ms},
+		{"neusight_request_latency_p90_ms", "Request latency p90 over the recent window (ms).", "gauge", st.LatencyP90ms},
+		{"neusight_request_latency_p99_ms", "Request latency p99 over the recent window (ms).", "gauge", st.LatencyP99ms},
+		{"neusight_uptime_seconds", "Seconds since the service started.", "gauge", st.UptimeSec},
+	}
+}
+
+// WriteMetrics renders st in Prometheus text exposition format 0.0.4:
+// "# HELP" and "# TYPE" metadata lines followed by the sample, one metric
+// family per block, ending with a newline.
+func WriteMetrics(w io.Writer, st Stats) error {
+	for _, m := range metricsFor(st) {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricsHandler serves the service counters as a Prometheus scrape target.
+func metricsHandler(s *Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		w.WriteHeader(http.StatusOK)
+		WriteMetrics(w, s.Stats())
+	}
+}

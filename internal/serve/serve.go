@@ -33,6 +33,16 @@ type KernelPredictor interface {
 	PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 }
 
+// BatchKernelPredictor is optionally implemented by backends that can
+// amortize one model evaluation across many kernels (*core.Predictor does,
+// via its compiled inference path). When the wrapped backend implements it,
+// PredictBatch forwards all cache misses in a single call; otherwise it
+// falls back to per-kernel backend predictions. Results are positional and
+// per-item: lats[i]/errs[i] correspond to ks[i].
+type BatchKernelPredictor interface {
+	PredictKernels(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error)
+}
+
 // Config sizes the service.
 type Config struct {
 	// CacheSize is the LRU capacity in entries. Zero means DefaultCacheSize;
@@ -73,10 +83,13 @@ type Service struct {
 	mu       sync.Mutex
 	inflight map[string]*inflightCall
 
-	requests  atomic.Uint64
-	coalesced atomic.Uint64
-	errors    atomic.Uint64
-	graphs    atomic.Uint64
+	requests       atomic.Uint64
+	coalesced      atomic.Uint64
+	errors         atomic.Uint64
+	graphs         atomic.Uint64
+	batches        atomic.Uint64
+	batchedKernels atomic.Uint64
+	inFlightNow    atomic.Int64
 }
 
 // inflightCall is one in-progress backend prediction that later arrivals
@@ -133,7 +146,11 @@ func cacheKey(k kernels.Kernel, g gpu.Spec) string {
 func (s *Service) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
 	start := time.Now()
 	s.requests.Add(1)
-	defer func() { s.lat.Observe(time.Since(start)) }()
+	s.inFlightNow.Add(1)
+	defer func() {
+		s.inFlightNow.Add(-1)
+		s.lat.Observe(time.Since(start))
+	}()
 
 	if k.Category() == kernels.CatNetwork {
 		s.errors.Add(1)
@@ -170,53 +187,59 @@ func (s *Service) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
 }
 
 // runBackend executes the backend prediction for a registered in-flight
-// call under the worker-pool bound. Cleanup — releasing the pool slot,
-// unregistering the call, and closing done — runs even if the backend
-// panics; the panic is converted to an error so both the leader and every
-// coalesced waiter fail cleanly instead of wedging the key forever.
+// call. Unregistering the call and closing done run even if the backend
+// panics (callBackend converts the panic to an error), so both the leader
+// and every coalesced waiter fail cleanly instead of wedging the key
+// forever.
 func (s *Service) runBackend(call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
 	defer func() {
-		if r := recover(); r != nil {
-			call.err = fmt.Errorf("serve: backend panic predicting %s: %v", k.Label(), r)
-		}
 		s.mu.Lock()
 		delete(s.inflight, key)
 		s.mu.Unlock()
 		close(call.done)
 	}()
+	call.val, call.err = s.callBackend(k, g)
+}
+
+// callBackend runs one per-kernel backend prediction under a worker-pool
+// slot, converting a backend panic into an error with the slot released.
+// It is the shared primitive of the single-kernel path and the batch
+// fallback for backends without native batch support.
+func (s *Service) callBackend(k kernels.Kernel, g gpu.Spec) (val float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: backend panic predicting %s: %v", k.Label(), r)
+		}
+	}()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	call.val, call.err = s.pred.PredictKernel(k, g)
+	return s.pred.PredictKernel(k, g)
 }
 
 // PredictGraph forecasts the end-to-end latency of gr on g under the
-// paper's sequential-execution assumption, fanning the per-kernel
-// sub-predictions across the worker pool. Identical kernels within the
-// graph — and across concurrent PredictGraph calls — share cache entries
-// and coalesce, so N concurrent requests for similar models cost far less
-// than N independent walks. Kernels that fail to predict contribute their
-// memory-bound fallback, mirroring core.Predictor.PredictGraph.
+// paper's sequential-execution assumption by routing every predictable
+// kernel through the batched prediction machinery (see PredictBatch; the
+// batch-API counters are not incremented — they track client batch calls):
+// cache hits are served directly, the misses collapse into a single batched
+// backend evaluation, and identical kernels — within the graph or across
+// concurrent PredictGraph calls — share cache entries and coalesce. Kernels
+// that fail to predict contribute their memory-bound fallback, mirroring
+// core.Predictor.PredictGraph.
 func (s *Service) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
 	s.graphs.Add(1)
-	lats := make([]float64, len(gr.Nodes))
-	var wg sync.WaitGroup
-	for i, n := range gr.Nodes {
+	ks := make([]kernels.Kernel, 0, len(gr.Nodes))
+	for _, n := range gr.Nodes {
 		if n.Kernel.Category() == kernels.CatNetwork {
 			continue // network ops are priced by the distributed layer
 		}
-		wg.Add(1)
-		go func(i int, k kernels.Kernel) {
-			defer wg.Done()
-			l, err := s.PredictKernel(k, g)
-			if err != nil {
-				l = core.MemBoundLatency(k, g)
-			}
-			lats[i] = l
-		}(i, n.Kernel)
+		ks = append(ks, n.Kernel)
 	}
-	wg.Wait()
+	lats, errs := s.predictBatch(ks, g)
 	total := 0.0
-	for _, l := range lats {
+	for i, l := range lats {
+		if errs[i] != nil {
+			l = core.MemBoundLatency(ks[i], g)
+		}
 		total += l
 	}
 	return total
@@ -225,19 +248,22 @@ func (s *Service) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
 // Stats is a point-in-time snapshot of the service counters, exposed on
 // /v1/stats and consumed by the throughput benchmark.
 type Stats struct {
-	Backend       string  `json:"backend"`
-	Requests      uint64  `json:"requests"`
-	GraphRequests uint64  `json:"graph_requests"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheLen      int     `json:"cache_len"`
-	HitRate       float64 `json:"hit_rate"`
-	Coalesced     uint64  `json:"coalesced"`
-	Errors        uint64  `json:"errors"`
-	LatencyP50ms  float64 `json:"latency_p50_ms"`
-	LatencyP90ms  float64 `json:"latency_p90_ms"`
-	LatencyP99ms  float64 `json:"latency_p99_ms"`
-	UptimeSec     float64 `json:"uptime_sec"`
+	Backend        string  `json:"backend"`
+	Requests       uint64  `json:"requests"`
+	GraphRequests  uint64  `json:"graph_requests"`
+	BatchRequests  uint64  `json:"batch_requests"`
+	BatchedKernels uint64  `json:"batched_kernels"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheLen       int     `json:"cache_len"`
+	HitRate        float64 `json:"hit_rate"`
+	Coalesced      uint64  `json:"coalesced"`
+	Errors         uint64  `json:"errors"`
+	InFlight       int64   `json:"in_flight"`
+	LatencyP50ms   float64 `json:"latency_p50_ms"`
+	LatencyP90ms   float64 `json:"latency_p90_ms"`
+	LatencyP99ms   float64 `json:"latency_p99_ms"`
+	UptimeSec      float64 `json:"uptime_sec"`
 }
 
 // Stats returns the current counters. HitRate is hits/(hits+misses), 0
@@ -246,18 +272,21 @@ func (s *Service) Stats() Stats {
 	hits, misses := s.cache.Counters()
 	ps := s.lat.Percentiles(0.50, 0.90, 0.99)
 	st := Stats{
-		Backend:       s.pred.Name(),
-		Requests:      s.requests.Load(),
-		GraphRequests: s.graphs.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheLen:      s.cache.Len(),
-		Coalesced:     s.coalesced.Load(),
-		Errors:        s.errors.Load(),
-		LatencyP50ms:  ps[0],
-		LatencyP90ms:  ps[1],
-		LatencyP99ms:  ps[2],
-		UptimeSec:     time.Since(s.start).Seconds(),
+		Backend:        s.pred.Name(),
+		Requests:       s.requests.Load(),
+		GraphRequests:  s.graphs.Load(),
+		BatchRequests:  s.batches.Load(),
+		BatchedKernels: s.batchedKernels.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheLen:       s.cache.Len(),
+		Coalesced:      s.coalesced.Load(),
+		Errors:         s.errors.Load(),
+		InFlight:       s.inFlightNow.Load(),
+		LatencyP50ms:   ps[0],
+		LatencyP90ms:   ps[1],
+		LatencyP99ms:   ps[2],
+		UptimeSec:      time.Since(s.start).Seconds(),
 	}
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)

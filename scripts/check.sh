@@ -12,6 +12,9 @@ if [[ "${1:-}" == "-fast" ]]; then
   fast=1
 fi
 
+# gofmt -l recurses from the repo root, so every .go file is covered —
+# including files in newly added directories and files excluded by build
+# constraints that `go list` would skip.
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
 if [[ -n "$unformatted" ]]; then
@@ -33,5 +36,11 @@ else
   echo "==> go test -race ./..."
   go test -race ./...
 fi
+
+# Benchmark smoke run: one iteration each, so bit-rotted benchmarks (stale
+# APIs, broken fixtures) fail CI without CI paying for real measurement.
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench . -benchtime=1x ./internal/mat ./internal/core >/dev/null
+go test -run '^$' -bench 'Serve' -benchtime=1x . >/dev/null
 
 echo "OK"
