@@ -1,20 +1,24 @@
 // Command neusight is the CLI front end of the framework: it lists the
-// device and workload inventories, trains a predictor from a dataset, and
-// forecasts model latencies on any registered GPU.
+// device and workload inventories and the prediction-engine registry,
+// trains a predictor from a dataset, and forecasts model latencies on any
+// registered GPU with any registered engine.
 //
 // Usage:
 //
 //	neusight list-gpus
 //	neusight list-models
+//	neusight engines
 //	neusight train   -data data.csv -out model.json -tiles tiles.json
 //	neusight predict -model model.json -tiles tiles.json \
 //	                 -workload GPT3-XL -gpu H100 -batch 2 [-train] [-fused]
-//	neusight quick   -workload GPT3-XL -gpu H100 -batch 2
+//	                 [-engine neusight]
+//	neusight quick   -workload GPT3-XL -gpu H100 -batch 2 [-engine roofline]
 //	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
-// fastest way to get a forecast. "serve" exposes a predictor as a
-// concurrent HTTP JSON API with prediction caching and request coalescing.
+// fastest way to get a forecast. "serve" exposes the engine registry as a
+// concurrent HTTP JSON API (/v2 selects an engine per request) with
+// per-engine prediction caching and request coalescing.
 package main
 
 import (
@@ -25,10 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"neusight/internal/baselines"
 	"neusight/internal/core"
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
@@ -36,6 +42,7 @@ import (
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
 	"neusight/internal/models"
+	"neusight/internal/predict"
 	"neusight/internal/report"
 	"neusight/internal/serve"
 	"neusight/internal/tile"
@@ -52,10 +59,12 @@ func main() {
 		err = listGPUs()
 	case "list-models":
 		err = listModels()
+	case "engines":
+		err = listEngines()
 	case "train":
 		err = train(os.Args[2:])
 	case "predict":
-		err = predict(os.Args[2:])
+		err = predictCmd(os.Args[2:])
 	case "quick":
 		err = quick(os.Args[2:])
 	case "serve":
@@ -79,10 +88,11 @@ func usage() {
 commands:
   list-gpus     print the device registry (paper Table 4)
   list-models   print the workload zoo (paper Table 5)
+  engines       print the prediction-engine registry
   train         train a predictor from a profiled dataset CSV
-  predict       forecast a workload with a saved predictor
+  predict       forecast a workload with a saved predictor (-engine picks another engine)
   quick         train a reduced predictor in-process and forecast
-  serve         run the concurrent HTTP prediction service`)
+  serve         run the concurrent multi-engine HTTP prediction service`)
 }
 
 func listGPUs() error {
@@ -103,6 +113,102 @@ func listModels() error {
 			c.Name, c.Year, c.ParamsDesc, c.Layers, c.Heads, c.Hidden, c.SeqLen, c.HasOODDims())
 	}
 	return w.Flush()
+}
+
+// listEngines builds the default engine registry (untrained — construction
+// is cheap, training is not) and prints it alongside the catalog metadata.
+func listEngines() error {
+	reg := untrainedRegistry()
+	catalog := map[string]predict.Info{}
+	for _, info := range predict.Catalog() {
+		catalog[info.Name] = info
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tSOURCE\tBATCH\tTRAINABLE\tDESCRIPTION")
+	for _, name := range reg.List() {
+		eng, err := reg.Get(name)
+		if err != nil {
+			return err
+		}
+		info := catalog[name]
+		native := "sequential"
+		if predict.NativeBatch(eng) {
+			native = "native"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%s\n", name, info.Source, native, info.Trainable, info.Description)
+	}
+	return w.Flush()
+}
+
+// engineSpec is one row of the standard non-neusight engine wiring: how to
+// construct the engine and how to prepare its training set. The neusight
+// engine is special-cased everywhere — it wraps whichever core predictor
+// the command loaded or trained.
+type engineSpec struct {
+	name  string
+	build func() predict.Engine
+	// prep trims the training set for engines with expensive fits; nil
+	// means train on the full dataset. Consulted only for Trainable engines.
+	prep func(ds *dataset.Dataset) *dataset.Dataset
+}
+
+// engineSpecs is the single name -> constructor table behind `engines`,
+// `-engine` forecasts, and `serve -quick`: adding an engine here makes it
+// listable, buildable, and servable at once instead of requiring four
+// coordinated switch edits.
+func engineSpecs() []engineSpec {
+	cfg := quickDirectConfig()
+	trCfg := cfg
+	trCfg.Epochs = 8 // transformers train sample-by-sample; bound the budget
+	return []engineSpec{
+		{name: predict.EngineRoofline,
+			build: func() predict.Engine { return predict.NewRooflineEngine() }},
+		{name: predict.EngineGPUSim,
+			build: func() predict.Engine { return predict.NewSimEngine(gpusim.New()) }},
+		{name: predict.EngineHabitat,
+			build: func() predict.Engine { return predict.NewHabitatEngine(baselines.NewHabitat(cfg, gpusim.New())) }},
+		{name: predict.EngineLiRegression,
+			build: func() predict.Engine { return predict.NewLiEngine(baselines.NewLiRegression()) }},
+		{name: predict.EngineDirectMLP,
+			build: func() predict.Engine { return predict.NewDirectMLPEngine(baselines.NewDirectMLP(cfg)) }},
+		{name: predict.EngineDirectTransformer,
+			build: func() predict.Engine {
+				return predict.NewDirectTransformerEngine(baselines.NewDirectTransformer(trCfg, 2))
+			},
+			prep: func(ds *dataset.Dataset) *dataset.Dataset {
+				if len(ds.Samples) > 1500 {
+					return &dataset.Dataset{Samples: ds.Samples[:1500]}
+				}
+				return ds
+			}},
+	}
+}
+
+// trainEngineSpec fits a Trainable engine to ds, applying the spec's
+// training-set preparation.
+func trainEngineSpec(tr predict.Trainable, spec engineSpec, ds *dataset.Dataset) error {
+	if spec.prep != nil {
+		ds = spec.prep(ds)
+	}
+	return tr.Train(ds)
+}
+
+// untrainedRegistry registers one instance of every standard engine without
+// training any of them — the registry shape `neusight engines` lists and
+// the conformance suite checks.
+func untrainedRegistry() *predict.Registry {
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewCoreEngine(core.NewPredictor(core.DefaultConfig(), nil)))
+	for _, spec := range engineSpecs() {
+		reg.MustRegister(spec.build())
+	}
+	return reg
+}
+
+// quickDirectConfig sizes the in-process baseline training runs used by
+// -engine forecasts and `serve -quick`.
+func quickDirectConfig() baselines.DirectConfig {
+	return baselines.DirectConfig{Hidden: 32, Layers: 2, Epochs: 20, BatchSize: 128, LR: 3e-3, Seed: 7}
 }
 
 func train(args []string) error {
@@ -139,7 +245,7 @@ func train(args []string) error {
 	return p.Save(*outPath)
 }
 
-func predict(args []string) error {
+func predictCmd(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	modelPath := fs.String("model", "neusight-model.json", "trained predictor path")
 	tilePath := fs.String("tiles", "tiles.json", "tile database path")
@@ -149,8 +255,17 @@ func predict(args []string) error {
 	trainMode := fs.Bool("train", false, "forecast a training iteration instead of inference")
 	fused := fs.Bool("fused", false, "apply the operator-fusion pass first")
 	breakdown := fs.Bool("breakdown", false, "print per-category and per-kernel breakdown")
+	engineName := fs.String("engine", predict.EngineNeuSight,
+		"prediction engine (see `neusight engines`); trainable non-neusight engines are fitted in-process on simulated profiling data")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *engineName != predict.EngineNeuSight {
+		eng, err := buildAltEngine(*engineName)
+		if err != nil {
+			return err
+		}
+		return forecastEngine(eng, *workload, *gpuName, *batch, *trainMode, *fused, *breakdown)
 	}
 	tdb, err := tile.LoadDB(*tilePath)
 	if err != nil {
@@ -170,50 +285,98 @@ func quick(args []string) error {
 	batch := fs.Int("batch", 2, "batch size")
 	trainMode := fs.Bool("train", false, "forecast a training iteration instead of inference")
 	fused := fs.Bool("fused", false, "apply the operator-fusion pass first")
+	engineName := fs.String("engine", predict.EngineNeuSight, "prediction engine (see `neusight engines`)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *engineName != predict.EngineNeuSight {
+		eng, err := buildAltEngine(*engineName)
+		if err != nil {
+			return err
+		}
+		return forecastEngine(eng, *workload, *gpuName, *batch, *trainMode, *fused, false)
 	}
 	fmt.Println("profiling simulated training GPUs and training a reduced predictor...")
 	return forecast(quickPredictor(), *workload, *gpuName, *batch, *trainMode, *fused)
 }
 
-// quickPredictor profiles the simulated training GPUs and trains a reduced
-// in-process predictor — shared by the quick and serve subcommands.
-func quickPredictor() *core.Predictor {
+// quickDataset profiles the simulated training GPUs into a reduced dataset
+// — the shared input of every in-process engine training.
+func quickDataset() (*dataset.Dataset, *tile.DB) {
 	tdb := tile.NewDB()
 	ds := dataset.Generate(dataset.GenConfig{
 		Seed: 42, BMM: 300, FC: 150, EW: 120, Softmax: 60, LN: 60,
 		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
 	}, gpusim.New(), tdb)
-	p := core.NewPredictor(core.Config{
-		Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256, LR: 3e-3, WeightDecay: 1e-4, Seed: 42,
-	}, tdb)
+	return ds, tdb
+}
+
+// quickCoreConfig sizes the reduced in-process NeuSight training run —
+// the one configuration behind both `quick` and `serve -quick`.
+func quickCoreConfig() core.Config {
+	return core.Config{Hidden: 48, Layers: 3, Epochs: 40, BatchSize: 256, LR: 3e-3, WeightDecay: 1e-4, Seed: 42}
+}
+
+// quickPredictor profiles the simulated training GPUs and trains a reduced
+// in-process predictor — shared by the quick and serve subcommands.
+func quickPredictor() *core.Predictor {
+	ds, tdb := quickDataset()
+	p := core.NewPredictor(quickCoreConfig(), tdb)
 	p.Train(ds)
 	return p
 }
 
-// serveCmd runs the HTTP prediction service: either around a predictor
-// saved by train (-model/-tiles) or a reduced one trained in-process
-// (-quick). SIGINT/SIGTERM trigger a graceful shutdown: the listener
-// closes immediately, in-flight requests drain up to -drain, then the
-// process exits cleanly.
+// buildAltEngine constructs a non-default engine for a one-off CLI
+// forecast. The analytical and simulator engines are free; the trainable
+// baselines are fitted to an in-process generated dataset first (they have
+// no on-disk format — they exist for comparison, not production serving).
+func buildAltEngine(name string) (predict.Engine, error) {
+	for _, spec := range engineSpecs() {
+		if spec.name != name {
+			continue
+		}
+		eng := spec.build()
+		tr, ok := eng.(predict.Trainable)
+		if !ok {
+			return eng, nil
+		}
+		fmt.Printf("training engine %s on simulated profiling data...\n", name)
+		ds, _ := quickDataset()
+		return eng, trainEngineSpec(tr, spec, ds)
+	}
+	return nil, fmt.Errorf("unknown engine %q (see `neusight engines`)", name)
+}
+
+// serveCmd runs the multi-engine HTTP prediction service around either a
+// predictor saved by train (-model/-tiles) or a reduced one trained
+// in-process (-quick). The registry always carries the neusight, roofline,
+// and gpusim engines; -quick additionally trains the comparison baselines
+// (habitat, liregression, direct-mlp, direct-transformer) on the generated
+// dataset so every engine of the standard set is routable via /v2.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes
+// immediately, in-flight requests drain up to -drain, then the process
+// exits cleanly.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	modelPath := fs.String("model", "", "trained predictor path (from `neusight train`)")
 	tilePath := fs.String("tiles", "tiles.json", "tile database path")
 	quickTrain := fs.Bool("quick", false, "train a reduced predictor in-process instead of loading one")
-	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "prediction LRU cache size (entries; negative disables)")
+	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "per-engine prediction LRU cache size (entries; negative disables)")
 	workers := fs.Int("workers", 0, "max concurrent backend predictions (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var p *core.Predictor
+	var ds *dataset.Dataset
 	switch {
 	case *quickTrain:
 		fmt.Println("training a reduced in-process predictor...")
-		p = quickPredictor()
+		var tdb *tile.DB
+		ds, tdb = quickDataset()
+		p = core.NewPredictor(quickCoreConfig(), tdb)
+		p.Train(ds)
 	case *modelPath != "":
 		tdb, err := tile.LoadDB(*tilePath)
 		if err != nil {
@@ -226,14 +389,30 @@ func serveCmd(args []string) error {
 	default:
 		return fmt.Errorf("serve: pass -model (with -tiles) or -quick")
 	}
-	svc := serve.New(p, serve.Config{CacheSize: *cacheSize, Workers: *workers})
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewCoreEngine(p))
+	for _, spec := range engineSpecs() {
+		eng := spec.build()
+		if tr, ok := eng.(predict.Trainable); ok {
+			if ds == nil {
+				continue // trainable baselines need the -quick dataset
+			}
+			fmt.Printf("training engine %s...\n", spec.name)
+			if err := trainEngineSpec(tr, spec, ds); err != nil {
+				return err
+			}
+		}
+		reg.MustRegister(eng)
+	}
+	svc := serve.NewMulti(reg, predict.EngineNeuSight, serve.Config{CacheSize: *cacheSize, Workers: *workers})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on %s (cache %d entries)\n", svc.Backend(), ln.Addr(), *cacheSize)
-	fmt.Println("endpoints: POST /v1/predict/kernel  POST /v1/predict/batch  POST /v1/predict/graph")
-	fmt.Println("           GET /v1/healthz  GET /v1/stats  GET /metrics")
+	fmt.Printf("serving engines [%s] on %s, default %s (cache %d entries/engine)\n",
+		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize)
+	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
+	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Release the signal handler as soon as the first signal lands: the
@@ -287,6 +466,14 @@ func forecast(p *core.Predictor, workload, gpuName string, batch int, trainMode,
 }
 
 func forecastOpts(p *core.Predictor, workload, gpuName string, batch int, trainMode, fused, breakdown bool) error {
+	return forecastEngine(predict.NewCoreEngine(p), workload, gpuName, batch, trainMode, fused, breakdown)
+}
+
+// forecastEngine forecasts a registered workload with any engine. Engines
+// with a whole-graph path (neusight) use it; others sum their per-kernel
+// batch forecasts with the memory-bound fallback for operators the engine
+// cannot model — the same aggregation the experiment harness applies.
+func forecastEngine(eng predict.Engine, workload, gpuName string, batch int, trainMode, fused, breakdown bool) error {
 	m, err := models.Lookup(workload)
 	if err != nil {
 		return err
@@ -305,21 +492,32 @@ func forecastOpts(p *core.Predictor, workload, gpuName string, batch int, trainM
 		gr = graph.Fuse(gr)
 		mode += ", fused"
 	}
-	lat := p.PredictGraph(gr, g)
+	ctx := context.Background()
+	var lat float64
+	var rep core.GraphReport
+	if gp, ok := eng.(predict.GraphPredictor); ok {
+		lat, rep, _ = gp.PredictGraph(ctx, gr, g)
+	} else {
+		lat, rep, _ = predict.PredictGraphKernels(ctx, eng, gr.Kernels(), g)
+	}
 	fmt.Printf("%s on %s, batch %d, %s\n", m.Name, g.Name, batch, mode)
+	fmt.Printf("engine: %s\n", eng.Name())
 	fmt.Printf("kernels: %d   total FLOPs: %.3g   predicted latency: %.1f ms\n",
 		len(gr.Nodes), gr.TotalFLOPs(), lat)
+	if rep.Fallbacks > 0 {
+		fmt.Printf("note: %d kernels outside the engine's coverage used the memory-bound estimate\n", rep.Fallbacks)
+	}
 	if !m.FitsInMemory(batch, g, trainMode) {
 		fmt.Printf("warning: estimated footprint %.1f GB exceeds %s memory (%.0f GB) — real execution would OOM\n",
 			m.MemoryBytes(batch, trainMode)/1e9, g.Name, g.MemoryGB)
 	}
 	if breakdown {
 		b := report.Analyze(gr, func(k kernels.Kernel) float64 {
-			l, err := p.PredictKernel(k, g)
+			res, err := eng.PredictKernel(ctx, predict.Request{Kernel: k, GPU: g})
 			if err != nil {
 				return core.MemBoundLatency(k, g)
 			}
-			return l
+			return res.Latency
 		}, 8)
 		fmt.Println()
 		fmt.Print(b.Render())

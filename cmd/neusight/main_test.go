@@ -130,7 +130,7 @@ func TestTrainPredictRoundTripCLI(t *testing.T) {
 		t.Fatalf("train did not write the model: %v", err)
 	}
 	out := captureStdout(t, func() error {
-		return predict([]string{"-model", modelPath, "-tiles", tilePath,
+		return predictCmd([]string{"-model", modelPath, "-tiles", tilePath,
 			"-workload", "BERT-Large", "-gpu", "T4", "-batch", "4"})
 	})
 	if !strings.Contains(out, "predicted latency") {
@@ -141,6 +141,46 @@ func TestTrainPredictRoundTripCLI(t *testing.T) {
 func TestTrainRequiresData(t *testing.T) {
 	if err := train([]string{}); err == nil {
 		t.Fatal("train without -data must error")
+	}
+}
+
+func TestEnginesSubcommandListsStandardSet(t *testing.T) {
+	out := captureStdout(t, listEngines)
+	for _, want := range []string{
+		"neusight", "habitat", "liregression", "roofline",
+		"direct-mlp", "direct-transformer", "gpusim",
+		"NAME", "SOURCE", "TRAINABLE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("engines output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPredictWithAnalyticalEngine: -engine routes a forecast through a
+// non-default engine with no model files required.
+func TestPredictWithAnalyticalEngine(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return predictCmd([]string{"-engine", "roofline",
+			"-workload", "BERT-Large", "-gpu", "V100", "-batch", "2"})
+	})
+	for _, want := range []string{"engine: roofline", "predicted latency", "BERT-Large on V100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("roofline forecast output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() error {
+		return predictCmd([]string{"-engine", "gpusim",
+			"-workload", "BERT-Large", "-gpu", "V100", "-batch", "2", "-breakdown"})
+	})
+	if !strings.Contains(out, "engine: gpusim") || !strings.Contains(out, "by operator category") {
+		t.Fatalf("gpusim forecast output:\n%s", out)
+	}
+}
+
+func TestPredictUnknownEngine(t *testing.T) {
+	if err := predictCmd([]string{"-engine", "crystal-ball", "-workload", "BERT-Large", "-gpu", "V100"}); err == nil {
+		t.Fatal("unknown engine must error")
 	}
 }
 

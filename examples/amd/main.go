@@ -35,7 +35,7 @@ func main() {
 	for _, name := range []string{"BERT-Large", "GPT2-Large", "GPT3-XL", "OPT-1.3B"} {
 		m := models.MustLookup(name)
 		gr := m.InferenceGraph(4)
-		pred := predictor.PredictGraph(gr, mi250)
+		pred, _, _ := predictor.PredictGraph(gr, mi250)
 		measured := 0.0
 		for _, k := range gr.Kernels() {
 			measured += sim.KernelLatency(k, mi250)

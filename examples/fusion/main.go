@@ -47,8 +47,8 @@ func main() {
 		return total
 	}
 	mPlain, mFused := measure(plain), measure(fused)
-	pPlain := predictor.PredictGraph(plain, a100)
-	pFused := predictor.PredictGraph(fused, a100)
+	pPlain, _, _ := predictor.PredictGraph(plain, a100)
+	pFused, _, _ := predictor.PredictGraph(fused, a100)
 
 	fmt.Printf("measured:  %8.1f ms unfused, %8.1f ms fused (%.1f%% faster)\n",
 		mPlain, mFused, (mPlain-mFused)/mPlain*100)

@@ -36,7 +36,7 @@ func main() {
 	h100 := gpu.MustLookup("H100")
 	graph := gpt3.InferenceGraph(2)
 
-	latency := predictor.PredictGraph(graph, h100)
+	latency, _, _ := predictor.PredictGraph(graph, h100)
 	fmt.Printf("GPT3-XL (batch 2) first-token inference on H100: %.1f ms predicted\n", latency)
 
 	// Compare against the simulated "measurement" (in the paper this

@@ -39,7 +39,7 @@ func main() {
 	for _, name := range []string{"L4", "H100", "B200"} {
 		g := gpu.MustLookup(name)
 		start := time.Now()
-		pred := predictor.PredictGraph(graph, g)
+		pred, _, _ := predictor.PredictGraph(graph, g)
 		elapsed := time.Since(start)
 		line := fmt.Sprintf("  %-5s predicted %8.1f ms (forecast computed in %s)", name, pred, elapsed.Round(time.Millisecond))
 		if name != "B200" {

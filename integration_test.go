@@ -63,7 +63,7 @@ func TestUnseenModelOnUnseenGPU(t *testing.T) {
 	h100 := gpu.MustLookup("H100")
 	for _, name := range []string{"GPT3-XL", "GPT3-2.7B", "OPT-1.3B"} {
 		gr := models.MustLookup(name).InferenceGraph(2)
-		pred := p.PredictGraph(gr, h100)
+		pred, _, _ := p.PredictGraph(gr, h100)
 		meas := measure(sim, gr, h100)
 		if e := metrics.APE(pred, meas); e > 30 {
 			t.Errorf("%s on H100: error %.1f%%, want < 30%%", name, e)
@@ -93,7 +93,9 @@ func TestSaveLoadPredictEndToEnd(t *testing.T) {
 	}
 	gr := models.MustLookup("BERT-Large").InferenceGraph(8)
 	g := gpu.MustLookup("L4")
-	if a, b := p.PredictGraph(gr, g), back.PredictGraph(gr, g); math.Abs(a-b) > 1e-9 {
+	a, _, _ := p.PredictGraph(gr, g)
+	b, _, _ := back.PredictGraph(gr, g)
+	if math.Abs(a-b) > 1e-9 {
 		t.Fatalf("reloaded predictor disagrees: %v vs %v", a, b)
 	}
 }
@@ -103,13 +105,13 @@ func TestTrainingForecastEndToEnd(t *testing.T) {
 	p, sim := integPredictor(t)
 	g := gpu.MustLookup("A100-80GB")
 	gr := models.MustLookup("GPT2-Large").TrainingGraph(4)
-	pred := p.PredictGraph(gr, g)
+	pred, _, _ := p.PredictGraph(gr, g)
 	meas := measure(sim, gr, g)
 	if e := metrics.APE(pred, meas); e > 30 {
 		t.Fatalf("training forecast error %.1f%%, want < 30%%", e)
 	}
 	// Training must cost ~3x inference.
-	inf := p.PredictGraph(models.MustLookup("GPT2-Large").InferenceGraph(4), g)
+	inf, _, _ := p.PredictGraph(models.MustLookup("GPT2-Large").InferenceGraph(4), g)
 	if r := pred / inf; r < 2 || r > 4.5 {
 		t.Fatalf("train/infer prediction ratio = %v", r)
 	}
@@ -124,7 +126,9 @@ func TestFusionEndToEnd(t *testing.T) {
 	if measure(sim, fused, g) >= measure(sim, plain, g) {
 		t.Fatal("fusion must reduce measured latency")
 	}
-	if p.PredictGraph(fused, g) >= p.PredictGraph(plain, g) {
+	pf, _, _ := p.PredictGraph(fused, g)
+	pp, _, _ := p.PredictGraph(plain, g)
+	if pf >= pp {
 		t.Fatal("fusion must reduce predicted latency")
 	}
 }
@@ -144,7 +148,10 @@ func TestVariantArchitecturesPredictable(t *testing.T) {
 		models.ResNet50InferenceGraph(32),
 	}
 	for _, gr := range graphs {
-		v := p.PredictGraph(gr, g)
+		v, _, rerr := p.PredictGraph(gr, g)
+		if rerr != nil {
+			t.Errorf("%s: %v", gr.Name, rerr)
+		}
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Errorf("%s: forecast = %v", gr.Name, v)
 		}
@@ -190,7 +197,8 @@ func TestUpcomingGPUForecast(t *testing.T) {
 	b200 := gpu.MustLookup("B200")
 	h100 := gpu.MustLookup("H100")
 	gr := models.MustLookup("GPT3-XL").InferenceGraph(4)
-	fb, fh := p.PredictGraph(gr, b200), p.PredictGraph(gr, h100)
+	fb, _, _ := p.PredictGraph(gr, b200)
+	fh, _, _ := p.PredictGraph(gr, h100)
 	if fb <= 0 || math.IsNaN(fb) {
 		t.Fatalf("B200 forecast = %v", fb)
 	}

@@ -65,7 +65,11 @@ func TestDirectMLPLearnsInDistribution(t *testing.T) {
 	m.Train(train.Samples)
 	var errs []float64
 	for _, s := range val.Samples {
-		errs = append(errs, metrics.APE(m.Predict(s.Kernel, s.GPU), s.Latency))
+		pred, err := m.Predict(s.Kernel, s.GPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, metrics.APE(pred, s.Latency))
 	}
 	if mape := metrics.Mean(errs); mape > 80 {
 		t.Fatalf("direct MLP in-distribution MAPE = %.1f%%, want < 80%%", mape)
@@ -235,8 +239,22 @@ func TestDirectTransformerTrains(t *testing.T) {
 	if math.IsNaN(final) || math.IsInf(final, 0) {
 		t.Fatalf("transformer training diverged: %v", final)
 	}
-	p := tr.Predict(kernels.NewBMM(4, 256, 256, 256), gpu.MustLookup("T4"))
+	p, err := tr.Predict(kernels.NewBMM(4, 256, 256, 256), gpu.MustLookup("T4"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p <= 0 || math.IsNaN(p) {
 		t.Fatalf("transformer prediction = %v", p)
+	}
+}
+
+func TestDirectPredictorsUntrainedError(t *testing.T) {
+	k := kernels.NewBMM(2, 64, 64, 64)
+	g := gpu.MustLookup("V100")
+	if _, err := NewDirectMLP(fastCfg()).Predict(k, g); err == nil {
+		t.Fatal("untrained direct MLP must error, not panic")
+	}
+	if _, err := NewDirectTransformer(fastCfg(), 1).Predict(k, g); err == nil {
+		t.Fatal("untrained direct transformer must error, not panic")
 	}
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -149,11 +150,16 @@ func (d *DirectMLP) Train(samples []dataset.Sample) float64 {
 	return final
 }
 
-// Predict returns the regressed latency for k on g in milliseconds.
-func (d *DirectMLP) Predict(k kernels.Kernel, g gpu.Spec) float64 {
+// Predict returns the regressed latency for k on g in milliseconds, or an
+// error when the regressor has not been trained — matching the error
+// semantics of every other predictor instead of panicking on a nil model.
+func (d *DirectMLP) Predict(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	if d.mlp == nil {
+		return 0, fmt.Errorf("baselines: direct MLP not trained")
+	}
 	f := d.stats.apply(directFeatures(k, g))
 	x := ad.NewConstant(mat.FromSlice(1, directFeatureCount, f))
-	return math.Exp(d.mlp.Forward(x).Data.Data[0])
+	return math.Exp(d.mlp.Forward(x).Data.Data[0]), nil
 }
 
 // DirectTransformer is the Prime-style transformer regressor of Table 1:
@@ -224,9 +230,13 @@ func (d *DirectTransformer) Train(samples []dataset.Sample) float64 {
 	return final
 }
 
-// Predict returns the regressed latency for k on g in milliseconds.
-func (d *DirectTransformer) Predict(k kernels.Kernel, g gpu.Spec) float64 {
+// Predict returns the regressed latency for k on g in milliseconds, or an
+// error when the regressor has not been trained.
+func (d *DirectTransformer) Predict(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	if d.tr == nil {
+		return 0, fmt.Errorf("baselines: direct transformer not trained")
+	}
 	f := d.stats.apply(directFeatures(k, g))
 	x := ad.NewConstant(mat.FromSlice(1, directFeatureCount, f))
-	return math.Exp(d.tr.Forward(x).Data.Data[0])
+	return math.Exp(d.tr.Forward(x).Data.Data[0]), nil
 }

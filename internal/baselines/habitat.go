@@ -72,7 +72,7 @@ func (h *Habitat) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
 		if !ok {
 			return 0, fmt.Errorf("baselines: habitat MLP for %v not trained", cat)
 		}
-		return m.Predict(k, g), nil
+		return m.Predict(k, g)
 	}
 	// Kernel-alike path: measure on the reference GPU, scale by the
 	// memory-bandwidth ratio (vector ops are bandwidth-bound).

@@ -21,7 +21,17 @@ import (
 // get their closed-form fallback. Each prediction is bit-identical to what
 // PredictKernel returns for the same kernel.
 func (p *Predictor) PredictKernels(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+	lats, _, errs = p.PredictKernelsDetail(ks, g)
+	return lats, errs
+}
+
+// PredictKernelsDetail is PredictKernels plus the bounded utilization
+// behind each forecast (0 for memory-bound fallbacks), mirroring
+// PredictKernelDetail batch-wide. It is the batch entry point of the
+// predict.Engine adapter.
+func (p *Predictor) PredictKernelsDetail(ks []kernels.Kernel, g gpu.Spec) (lats, utils []float64, errs []error) {
 	lats = make([]float64, len(ks))
+	utils = make([]float64, len(ks))
 	errs = make([]error, len(ks))
 
 	// Group batch positions by category. The map is tiny (≤7 categories);
@@ -76,8 +86,10 @@ func (p *Predictor) PredictKernels(ks []kernels.Kernel, g gpu.Spec) (lats []floa
 		// One compiled forward pass for the whole group.
 		heads := cm.Forward(X)
 		for row, i := range idxs {
-			lats[i] = cs[row] / utilScalar(heads.At(row, 0), heads.At(row, 1), ws[row])
+			util := utilScalar(heads.At(row, 0), heads.At(row, 1), ws[row])
+			lats[i] = cs[row] / util
+			utils[i] = util
 		}
 	}
-	return lats, errs
+	return lats, utils, errs
 }

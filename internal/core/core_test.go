@@ -203,6 +203,64 @@ func TestUntrainedCategoryError(t *testing.T) {
 	}
 }
 
+// TestGenerationMovesOnRetrainAndProfiling: Generation must change on
+// every event that can change a forecast — retraining a category and
+// adding tile records — so generation-keyed serving caches invalidate.
+func TestGenerationMovesOnRetrainAndProfiling(t *testing.T) {
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: 51, BMM: 40, FC: 20, EW: 15, Softmax: 8, LN: 8,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := NewPredictor(testConfig(), tdb)
+	g0 := p.Generation()
+	p.Train(ds)
+	g1 := p.Generation()
+	if g1 == g0 {
+		t.Fatal("Generation must change after Train")
+	}
+	p.TrainCategory(kernels.CatBMM, ds.FilterCategory(kernels.CatBMM))
+	g2 := p.Generation()
+	if g2 == g1 {
+		t.Fatal("Generation must change after a category retrain")
+	}
+	k := kernels.NewBMM(1, 32, 32, 32)
+	gp := gpu.MustLookup("V100")
+	p.TileDB.Add(k, gp, tile.Select(k, gp))
+	if p.Generation() == g2 {
+		t.Fatal("Generation must change when the tile database grows")
+	}
+}
+
+// TestPredictKernelDetailMatchesPredictKernel: the Detail variant is the
+// same pipeline plus the utilization — never a divergent fork.
+func TestPredictKernelDetailMatchesPredictKernel(t *testing.T) {
+	p := trainSmall(t, 31)
+	g := gpu.MustLookup("H100")
+	k := kernels.NewBMM(8, 384, 384, 384)
+	lat, err := p.PredictKernel(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlat, util, err := p.PredictKernelDetail(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dlat != lat {
+		t.Fatalf("detail latency %v != %v", dlat, lat)
+	}
+	if util <= 0 || util > 1 {
+		t.Fatalf("utilization %v out of (0, 1]", util)
+	}
+	wantUtil, err := p.Utilization(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util != wantUtil {
+		t.Fatalf("detail utilization %v != Utilization() %v", util, wantUtil)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	p := trainSmall(t, 26)
 	g := gpu.MustLookup("L4")
@@ -263,7 +321,14 @@ func TestPredictGraphSumsKernels(t *testing.T) {
 		}
 		want += l
 	}
-	if got := p.PredictGraph(gr, g); math.Abs(got-want) > 1e-9 {
+	got, rep, err := p.PredictGraph(gr, g)
+	if err != nil {
+		t.Fatalf("PredictGraph: %v", err)
+	}
+	if math.Abs(got-want) > 1e-9 {
 		t.Fatalf("PredictGraph = %v, want %v", got, want)
+	}
+	if rep.Kernels != 3 || rep.Predicted != 3 || rep.Fallbacks != 0 {
+		t.Fatalf("GraphReport = %+v, want 3 predicted", rep)
 	}
 }

@@ -81,7 +81,7 @@ func (e *Ensemble) PredictKernelWithSpread(k kernels.Kernel, g gpu.Spec) (mean, 
 func (e *Ensemble) PredictGraphWithSpread(gr *graph.Graph, g gpu.Spec) (mean, std float64) {
 	totals := make([]float64, len(e.members))
 	for i, m := range e.members {
-		totals[i] = m.PredictGraph(gr, g)
+		totals[i], _, _ = m.PredictGraph(gr, g)
 	}
 	for _, t := range totals {
 		mean += t

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	ad "neusight/internal/autodiff"
 	"neusight/internal/dataset"
@@ -62,6 +65,10 @@ type Predictor struct {
 	mlps     map[kernels.Category]*nn.MLP
 	stats    map[kernels.Category]*featureStats
 	compiled map[kernels.Category]*nn.CompiledMLP
+
+	// modelGen counts learned-state changes: TrainCategory and Load bump it
+	// so Generation moves whenever weights are replaced.
+	modelGen atomic.Uint64
 
 	mu        sync.Mutex
 	tileCache map[string]*tileEntry
@@ -270,7 +277,18 @@ func (p *Predictor) TrainCategory(cat kernels.Category, ds *dataset.Dataset) flo
 	// the fresh weights. In-flight predictions keep their old snapshot.
 	delete(p.compiled, cat)
 	p.stateMu.Unlock()
+	p.modelGen.Add(1)
 	return final
+}
+
+// Generation identifies the predictor's current learned state: it changes
+// whenever TrainCategory replaces a category's weights or the tile database
+// records new profiles — exactly the events that make previously returned
+// forecasts stale. Serving caches fold it into their keys so retraining
+// invalidates cached predictions automatically instead of relying on a
+// manual flush.
+func (p *Predictor) Generation() uint64 {
+	return p.modelGen.Load()<<32 | p.TileDB.Generation()&0xffffffff
 }
 
 // predictExpr builds the differentiable latency expression: c / util with
@@ -287,19 +305,28 @@ func predictExpr(mlp *nn.MLP, X, c, w *ad.Value) *ad.Value {
 // graph is built; anything else uses the memory-bound fallback (paper
 // Section 4.3). Network kernels are rejected — the network model owns them.
 func (p *Predictor) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	lat, _, err := p.PredictKernelDetail(k, g)
+	return lat, err
+}
+
+// PredictKernelDetail is PredictKernel plus the bounded utilization behind
+// the forecast — the quantity the predict.Engine contract surfaces.
+// Memory-bound fallbacks report utilization 0: the closed-form estimate has
+// no learned utilization.
+func (p *Predictor) PredictKernelDetail(k kernels.Kernel, g gpu.Spec) (lat, util float64, err error) {
 	cat := k.Category()
 	if cat == kernels.CatNetwork {
-		return 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
+		return 0, 0, fmt.Errorf("core: network kernel %s must be predicted by the network model", k.Label())
 	}
 	cm, st, ok := p.compiledModel(cat)
 	if !ok {
 		if cat == kernels.CatMemoryBound {
-			return MemBoundLatency(k, g), nil
+			return MemBoundLatency(k, g), 0, nil
 		}
-		return 0, fmt.Errorf("%w %v", ErrUntrained, cat)
+		return 0, 0, fmt.Errorf("%w %v", ErrUntrained, cat)
 	}
 	c, util := p.compiledEval(cm, st, k, g)
-	return c / util, nil
+	return c / util, util, nil
 }
 
 // compiledEval runs the compiled single-kernel pipeline — tile resolution,
@@ -356,28 +383,87 @@ func (p *Predictor) Utilization(k kernels.Kernel, g gpu.Spec) (float64, error) {
 	return util, nil
 }
 
+// GraphReport summarizes how a graph forecast was produced: how many
+// kernels went through the trained pipeline, how many failed and were
+// priced by the memory-bound fallback instead, and how many network
+// kernels were skipped for the distributed layer. Serving surfaces it on
+// /v2/predict/graph so a forecast quietly held together by fallbacks is
+// visible to the caller.
+type GraphReport struct {
+	// Kernels counts the predictable (non-network) kernels submitted.
+	Kernels int `json:"kernels"`
+	// Predicted counts kernels the predictor answered itself (including
+	// closed-form memory-bound categories — that is their model).
+	Predicted int `json:"predicted"`
+	// Fallbacks counts kernels whose prediction failed and contributed the
+	// memory-bound estimate instead.
+	Fallbacks int `json:"fallbacks"`
+	// Network counts kernels skipped because the distributed layer prices
+	// them.
+	Network int `json:"network"`
+}
+
+// FoldPredictions folds positional per-kernel forecasts (lats[i]/errs[i]
+// answering ks[i]) into an end-to-end total: kernels that failed to predict
+// contribute the memory-bound estimate and are counted in rep, and the
+// returned error aggregates them (nil when every kernel predicted). A
+// context cancellation among the errors aborts the fold instead — a
+// half-evaluated graph must surface as a failure, not a quietly degraded
+// total assembled from fallback guesses. This is the one copy of the
+// fallback-aggregation rule; PredictGraph, the engine layer, and the
+// serving layer all share it.
+func FoldPredictions(lats []float64, errs []error, ks []kernels.Kernel, g gpu.Spec, rep *GraphReport) (float64, error) {
+	total := 0.0
+	var firstErr error
+	for i, l := range lats {
+		if errs[i] != nil {
+			if errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded) {
+				// Leave a consistent report behind the abort: the partial
+				// Predicted/Fallbacks counts covered nothing that is being
+				// returned, so only the submission size survives.
+				*rep = GraphReport{Kernels: len(ks), Network: rep.Network}
+				return 0, errs[i]
+			}
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			rep.Fallbacks++
+			l = MemBoundLatency(ks[i], g)
+		} else {
+			rep.Predicted++
+		}
+		total += l
+	}
+	rep.Kernels = len(ks)
+	var err error
+	if rep.Fallbacks > 0 {
+		err = fmt.Errorf("core: %d of %d kernels could not be predicted and used the memory-bound fallback (first: %w)",
+			rep.Fallbacks, rep.Kernels, firstErr)
+	}
+	return total, err
+}
+
 // PredictGraph forecasts the end-to-end latency of a kernel graph on g by
 // sequential aggregation (Section 5), batching every predictable kernel
 // through one PredictKernels call per category so the whole graph pays for
 // a handful of compiled forward passes. Kernels that fail to predict
-// contribute their memory-bound fallback rather than aborting the forecast;
-// network kernels contribute zero (the distributed layer prices them).
-func (p *Predictor) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
+// contribute their memory-bound fallback rather than aborting the forecast,
+// but the failure is no longer silent: the report counts them and the error
+// aggregates them (nil when every kernel predicted). Network kernels
+// contribute zero (the distributed layer prices them).
+func (p *Predictor) PredictGraph(gr *graph.Graph, g gpu.Spec) (float64, GraphReport, error) {
+	var rep GraphReport
 	ks := make([]kernels.Kernel, 0, len(gr.Nodes))
 	for _, n := range gr.Nodes {
-		if n.Kernel.Category() != kernels.CatNetwork {
-			ks = append(ks, n.Kernel)
+		if n.Kernel.Category() == kernels.CatNetwork {
+			rep.Network++
+			continue
 		}
+		ks = append(ks, n.Kernel)
 	}
 	lats, errs := p.PredictKernels(ks, g)
-	total := 0.0
-	for i, l := range lats {
-		if errs[i] != nil {
-			l = MemBoundLatency(ks[i], g)
-		}
-		total += l
-	}
-	return total
+	total, err := FoldPredictions(lats, errs, ks, g, &rep)
+	return total, rep, err
 }
 
 // TrainedCategories lists the categories with fitted MLPs, sorted.
@@ -434,5 +520,6 @@ func Load(path string, tdb *tile.DB) (*Predictor, error) {
 			p.stats[cat] = &s
 		}
 	}
+	p.modelGen.Add(1)
 	return p, nil
 }

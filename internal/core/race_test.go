@@ -91,14 +91,17 @@ func TestPredictGraphConcurrent(t *testing.T) {
 	b := gr.Add(kernels.NewElementwise(kernels.OpEWGELU, 64, 256), a)
 	gr.Add(kernels.NewLayerNorm(64, 256), b)
 
-	want := p.PredictGraph(gr, g)
+	want, _, werr := p.PredictGraph(gr, g)
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 16; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if got := p.PredictGraph(gr, g); math.Abs(got-want) > 1e-12 {
+				if got, _, _ := p.PredictGraph(gr, g); math.Abs(got-want) > 1e-12 {
 					t.Errorf("PredictGraph = %v under concurrency, want %v", got, want)
 					return
 				}

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"neusight/internal/core"
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
 	"neusight/internal/metrics"
+	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
 
@@ -35,42 +38,41 @@ func Ablation(lab *Lab) *Table {
 		GPUs: gpu.TestSet(), MaxBMMDim: 2048,
 	}, lab.Sim, nil)
 
-	// Heuristic-tile variant: same weights, empty tile database.
+	// Heuristic-tile variant: same weights, empty tile database. Every
+	// variant — the registered full predictor, the knocked-out clone, and
+	// the two analytical strawmen — runs behind the same engine contract.
 	heuristic := clonePredictorWithEmptyDB(lab)
 
 	variants := []struct {
-		name    string
-		predict func(kernels.Kernel, gpu.Spec) (float64, bool)
+		name string
+		eng  predict.Engine
 	}{
-		{"NeuSight (full)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
-			v, err := lab.NeuSight.PredictKernel(k, g)
-			return v, err == nil
-		}},
-		{"Heuristic tiles", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
-			v, err := heuristic.PredictKernel(k, g)
-			return v, err == nil
-		}},
-		{"Fixed util (70%)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
-			return fixedUtilLatency(k, g, 0.70), true
-		}},
-		{"Roofline (util=1)", func(k kernels.Kernel, g gpu.Spec) (float64, bool) {
-			return fixedUtilLatency(k, g, 1.0), true
-		}},
+		{"NeuSight (full)", lab.Engine(predict.EngineNeuSight)},
+		{"Heuristic tiles", predict.NewCoreEngine(heuristic)},
+		{"Fixed util (70%)", predict.NewFuncEngine("fixed-util-70", predict.SourceAnalytical,
+			func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+				return fixedUtilLatency(k, g, 0.70), nil
+			})},
+		{"Roofline (util=1)", predict.NewFuncEngine("roofline-unit", predict.SourceAnalytical,
+			func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+				return fixedUtilLatency(k, g, 1.0), nil
+			})},
 	}
 
 	catOrder := []kernels.Category{
 		kernels.CatBMM, kernels.CatLinear, kernels.CatElementwise,
 		kernels.CatSoftmax, kernels.CatLayerNorm,
 	}
+	ctx := context.Background()
 	for _, v := range variants {
 		byCat := map[kernels.Category][]float64{}
 		var all []float64
 		for _, s := range eval.Samples {
-			pred, ok := v.predict(s.Kernel, s.GPU)
-			if !ok {
+			res, err := v.eng.PredictKernel(ctx, predict.Request{Kernel: s.Kernel, GPU: s.GPU})
+			if err != nil {
 				continue
 			}
-			e := metrics.APE(pred, s.Latency)
+			e := metrics.APE(res.Latency, s.Latency)
 			byCat[s.Kernel.Category()] = append(byCat[s.Kernel.Category()], e)
 			all = append(all, e)
 		}

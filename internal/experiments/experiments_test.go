@@ -307,7 +307,7 @@ func TestPredictGraphWithFallsBack(t *testing.T) {
 	// still produce a finite total.
 	m := models.MustLookup("BERT-Large")
 	ks := m.InferenceGraph(1).Kernels()
-	for _, p := range lab.Predictors() {
+	for _, p := range lab.Engines() {
 		v := PredictGraphWith(p, ks, gpu.MustLookup("V100"))
 		if v <= 0 {
 			t.Fatalf("%s produced non-positive graph latency", p.Name())

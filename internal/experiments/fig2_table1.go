@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"neusight/internal/baselines"
@@ -8,6 +9,7 @@ import (
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
 	"neusight/internal/metrics"
+	"neusight/internal/predict"
 )
 
 // fig2GPUs are the devices of Figure 2's grid, training GPUs first, the
@@ -38,6 +40,9 @@ func Fig2(lab *Lab) []*Table {
 	habitat.Columns = cols
 	li.Columns = cols
 
+	ctx := context.Background()
+	hEng := lab.Engine(predict.EngineHabitat)
+	lEng := lab.Engine(predict.EngineLiRegression)
 	for _, d := range fig2Dims {
 		label := fmt.Sprintf("%d", d)
 		if d > 1024 {
@@ -48,12 +53,13 @@ func Fig2(lab *Lab) []*Table {
 		k := kernels.NewBMM(8, d, d, d)
 		for _, g := range fig2GPUs() {
 			measured := lab.Sim.KernelLatency(k, g)
-			hp, err := lab.Habitat.PredictKernel(k, g)
+			req := predict.Request{Kernel: k, GPU: g}
+			hp, err := hEng.PredictKernel(ctx, req)
 			must(err)
-			lp, err := lab.Li.PredictKernel(k, g)
+			lp, err := lEng.PredictKernel(ctx, req)
 			must(err)
-			hRow = append(hRow, pct(metrics.APE(hp, measured)))
-			lRow = append(lRow, pct(metrics.APE(lp, measured)))
+			hRow = append(hRow, pct(metrics.APE(hp.Latency, measured)))
+			lRow = append(lRow, pct(metrics.APE(lp.Latency, measured)))
 		}
 		habitat.Rows = append(habitat.Rows, hRow)
 		li.Rows = append(li.Rows, lRow)
@@ -84,18 +90,23 @@ func Table1(lab *Lab) *Table {
 		GPUs: gpu.TestSet(), MaxBMMDim: 4096,
 	}, lab.Sim, nil)
 
-	evalOn := func(predict func(kernels.Kernel, gpu.Spec) float64, d *dataset.Dataset) float64 {
+	ctx := context.Background()
+	evalOn := func(e predict.Engine, d *dataset.Dataset) float64 {
 		var errs []float64
 		for _, s := range d.Samples {
-			errs = append(errs, metrics.APE(predict(s.Kernel, s.GPU), s.Latency))
+			res, err := e.PredictKernel(ctx, predict.Request{Kernel: s.Kernel, GPU: s.GPU})
+			must(err)
+			errs = append(errs, metrics.APE(res.Latency, s.Latency))
 		}
 		return metrics.Mean(errs)
 	}
 
+	// The study's predictors ride the same engine contract as the standard
+	// set: each trained candidate is wrapped and evaluated identically.
 	type candidate struct {
 		arch   string
 		layers int
-		pred   func(kernels.Kernel, gpu.Spec) float64
+		eng    predict.Engine
 	}
 	var cands []candidate
 	for _, layers := range []int{8, 16} {
@@ -104,7 +115,7 @@ func Table1(lab *Lab) *Table {
 		cfg.Seed = lab.Cfg.Seed + int64(layers)
 		m := baselines.NewDirectMLP(cfg)
 		m.Train(train.Samples)
-		cands = append(cands, candidate{"MLP", layers, m.Predict})
+		cands = append(cands, candidate{"MLP", layers, predict.NewDirectMLPEngine(m)})
 	}
 	for _, layers := range []int{3, 6} {
 		cfg := lab.Cfg.Habitat
@@ -119,11 +130,11 @@ func Table1(lab *Lab) *Table {
 			sub = sub[:2000]
 		}
 		tr.Train(sub)
-		cands = append(cands, candidate{"Transformer", layers, tr.Predict})
+		cands = append(cands, candidate{"Transformer", layers, predict.NewDirectTransformerEngine(tr)})
 	}
 	for _, c := range cands {
 		t.AddRow(c.arch, fmt.Sprintf("%d", c.layers),
-			pct(evalOn(c.pred, inDist)), pct(evalOn(c.pred, ood)))
+			pct(evalOn(c.eng, inDist)), pct(evalOn(c.eng, ood)))
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/metrics"
 	"neusight/internal/models"
+	"neusight/internal/predict"
 )
 
 // workload is one (model, batch) evaluation point of Figure 7.
@@ -61,7 +63,7 @@ func Fig7(lab *Lab) []*Table {
 		}
 		t := &Table{ID: id, Title: title}
 		t.Columns = []string{"Model", "Batch", "GPU", "Measured (ms)"}
-		for _, p := range lab.Predictors() {
+		for _, p := range lab.Engines() {
 			t.Columns = append(t.Columns, p.Name())
 		}
 
@@ -79,7 +81,7 @@ func Fig7(lab *Lab) []*Table {
 				}
 				measured := lab.MeasureGraph(ks, g)
 				row := []string{w.Model.Name, fmt.Sprintf("%d", w.Batch), labelGPU(g), ms(measured)}
-				for _, p := range lab.Predictors() {
+				for _, p := range lab.Engines() {
 					pred := PredictGraphWith(p, ks, g)
 					e := metrics.APE(pred, measured)
 					row = append(row, pct(e))
@@ -94,7 +96,7 @@ func Fig7(lab *Lab) []*Table {
 		avgRow := []string{"AVERAGE", "", "", ""}
 		oodRow := []string{"AVERAGE (OOD GPUs)", "", "", ""}
 		maxRow := []string{"MAX (OOD GPUs)", "", "", ""}
-		for _, p := range lab.Predictors() {
+		for _, p := range lab.Engines() {
 			avgRow = append(avgRow, pct(metrics.Mean(all[p.Name()])))
 			oodRow = append(oodRow, pct(metrics.Mean(oodG[p.Name()])))
 			maxRow = append(maxRow, pct(metrics.Max(oodG[p.Name()])))
@@ -129,7 +131,7 @@ func Fig8(lab *Lab) *Table {
 		Title: "Per-operator prediction percentage error (in-dist / OOD GPUs)",
 	}
 	t.Columns = []string{"Operator"}
-	for _, p := range lab.Predictors() {
+	for _, p := range lab.Engines() {
 		t.Columns = append(t.Columns, p.Name()+" (in)", p.Name()+" (OOD)")
 	}
 
@@ -139,6 +141,7 @@ func Fig8(lab *Lab) *Table {
 		ood  bool
 	}
 	errs := map[key][]float64{}
+	ctx := context.Background()
 	// One representative batch per model keeps the sweep affordable while
 	// covering every operator shape.
 	for _, w := range fig7Workloads()[:len(fig7Workloads())] {
@@ -153,19 +156,19 @@ func Fig8(lab *Lab) *Table {
 					continue
 				}
 				measured := lab.Sim.KernelLatency(k, g)
-				for _, p := range lab.Predictors() {
-					pred, err := p.PredictKernel(k, g)
+				for _, p := range lab.Engines() {
+					res, err := p.PredictKernel(ctx, predict.Request{Kernel: k, GPU: g})
 					if err != nil {
 						continue
 					}
-					errs[key{p.Name(), cat, isOODGPU(g)}] = append(errs[key{p.Name(), cat, isOODGPU(g)}], metrics.APE(pred, measured))
+					errs[key{p.Name(), cat, isOODGPU(g)}] = append(errs[key{p.Name(), cat, isOODGPU(g)}], metrics.APE(res.Latency, measured))
 				}
 			}
 		}
 	}
 	for _, cat := range fig8Categories {
 		row := []string{cat.String()}
-		for _, p := range lab.Predictors() {
+		for _, p := range lab.Engines() {
 			row = append(row,
 				pct(metrics.Mean(errs[key{p.Name(), cat, false}])),
 				pct(metrics.Mean(errs[key{p.Name(), cat, true}])))

@@ -8,6 +8,7 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/metrics"
 	"neusight/internal/models"
+	"neusight/internal/predict"
 )
 
 // Fig9 reproduces Figure 9: NeuSight trained on MI100/MI210 data predicting
@@ -42,7 +43,7 @@ func Fig9(lab *Lab) []*Table {
 				}
 				ks := gr.Kernels()
 				measured := lab.MeasureGraph(ks, mi250)
-				pred := PredictGraphWith(lab.AMDNeuSight, ks, mi250)
+				pred := PredictGraphWith(predict.NewCoreEngine(lab.AMDNeuSight), ks, mi250)
 				e := metrics.APE(pred, measured)
 				errs = append(errs, e)
 				t.AddRow(name, fmt.Sprintf("%d", b), ms(measured), ms(pred), pct(e))
@@ -68,6 +69,7 @@ func Table7(lab *Lab) *Table {
 			"Fused measured", "Fused predicted",
 		},
 	}
+	nsEng := lab.Engine(predict.EngineNeuSight)
 	gpus := []gpu.Spec{gpu.MustLookup("L4"), gpu.MustLookup("A100-40GB"), gpu.MustLookup("H100")}
 	rows := []workload{
 		{models.MustLookup("BERT-Large"), 8},
@@ -81,8 +83,8 @@ func Table7(lab *Lab) *Table {
 		for _, g := range gpus {
 			mPlain := lab.MeasureGraph(plain.Kernels(), g)
 			mFused := lab.MeasureGraph(fused.Kernels(), g)
-			pPlain := PredictGraphWith(lab.NeuSight, plain.Kernels(), g)
-			pFused := PredictGraphWith(lab.NeuSight, fused.Kernels(), g)
+			pPlain := PredictGraphWith(nsEng, plain.Kernels(), g)
+			pFused := PredictGraphWith(nsEng, fused.Kernels(), g)
 			t.AddRow(w.Model.Name, fmt.Sprintf("%d", w.Batch), labelGPU(g),
 				ms(mPlain), fmt.Sprintf("%s (%s)", ms(pPlain), pct(metrics.APE(pPlain, mPlain))),
 				ms(mFused), fmt.Sprintf("%s (%s)", ms(pFused), pct(metrics.APE(pFused, mFused))))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,19 +13,16 @@ import (
 	"neusight/internal/gpusim"
 	"neusight/internal/kernels"
 	"neusight/internal/network"
+	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
 
-// KernelPredictor is any latency forecaster in the comparison: NeuSight,
-// the three baselines, and the Table 1 study predictors all satisfy it.
-type KernelPredictor interface {
-	Name() string
-	PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
-}
-
 // Lab is the shared trained state behind every experiment: the measurement
 // substrates, the profiling artifacts, and every trained predictor. It is
-// built once (training the MLPs is the expensive step) and reused.
+// built once (training the MLPs is the expensive step) and reused. The
+// trained backends are exposed both directly (for training-side access)
+// and through Registry, the unified engine set the comparison tables
+// iterate.
 type Lab struct {
 	Cfg LabConfig
 
@@ -37,6 +35,11 @@ type Lab struct {
 	Habitat  *baselines.Habitat
 	Li       *baselines.LiRegression
 	Roofline baselines.Roofline
+
+	// Registry holds every trained predictor behind the predict.Engine
+	// contract; experiments route through it instead of hard-wiring the
+	// struct fields above.
+	Registry *predict.Registry
 
 	// AMD study state (Figure 9).
 	AMDTileDB   *tile.DB
@@ -109,7 +112,22 @@ func NewLab(cfg LabConfig) *Lab {
 
 	lab.Li = baselines.NewLiRegression()
 	lab.Li.Train(lab.Data)
+
+	lab.Registry = predict.NewRegistry()
+	lab.Registry.MustRegister(predict.NewCoreEngine(lab.NeuSight))
+	lab.Registry.MustRegister(predict.NewRooflineEngine())
+	lab.Registry.MustRegister(predict.NewHabitatEngine(lab.Habitat))
+	lab.Registry.MustRegister(predict.NewLiEngine(lab.Li))
+	lab.Registry.MustRegister(predict.NewSimEngine(lab.Sim))
 	return lab
+}
+
+// Engine resolves a registered engine by name, panicking on a miss —
+// experiment code paths run against a fixed registration.
+func (l *Lab) Engine(name string) predict.Engine {
+	e, err := l.Registry.Get(name)
+	must(err)
+	return e
 }
 
 // EnsureAMD lazily trains the AMD-side NeuSight on MI100/MI210 data
@@ -124,27 +142,28 @@ func (l *Lab) EnsureAMD() {
 	l.AMDNeuSight.Train(amdData)
 }
 
-// Predictors returns the Figure 7 comparison set in presentation order.
-func (l *Lab) Predictors() []KernelPredictor {
-	return []KernelPredictor{l.NeuSight, l.Roofline, l.Habitat, l.Li}
+// Engines returns the Figure 7 comparison set in presentation order,
+// resolved from the registry (NeuSight first, then the baselines, matching
+// the paper's column order).
+func (l *Lab) Engines() []predict.Engine {
+	names := []string{
+		predict.EngineNeuSight, predict.EngineRoofline,
+		predict.EngineHabitat, predict.EngineLiRegression,
+	}
+	out := make([]predict.Engine, len(names))
+	for i, n := range names {
+		out[i] = l.Engine(n)
+	}
+	return out
 }
 
-// PredictGraphWith sums per-kernel forecasts of p over gr's kernels on g,
-// falling back to the memory-bound estimate when a predictor cannot handle
-// an operator (matching how the harness treats "other" kernels for every
-// method).
-func PredictGraphWith(p KernelPredictor, ks []kernels.Kernel, g gpu.Spec) float64 {
-	total := 0.0
-	for _, k := range ks {
-		if k.Category() == kernels.CatNetwork {
-			continue
-		}
-		lat, err := p.PredictKernel(k, g)
-		if err != nil {
-			lat = core.MemBoundLatency(k, g)
-		}
-		total += lat
-	}
+// PredictGraphWith sums per-kernel forecasts of e over ks on g through the
+// engine's batch path (one compiled forward pass per category for engines
+// that batch natively), falling back to the memory-bound estimate when the
+// engine cannot handle an operator (matching how the harness treats
+// "other" kernels for every method).
+func PredictGraphWith(e predict.Engine, ks []kernels.Kernel, g gpu.Spec) float64 {
+	total, _, _ := predict.PredictGraphKernels(context.Background(), e, ks, g)
 	return total
 }
 

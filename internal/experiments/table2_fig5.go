@@ -1,26 +1,34 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
+	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
 
 // Table2 reproduces Table 2: measured compute utilization of the H100 when
 // executing the BERT-shaped (512x64)x(64x512) matrix multiplication across
 // batch sizes — the evidence that kernels often under-utilize peak FLOPS.
+// The measurement routes through the registered gpusim engine, whose
+// Result.Utilization is exactly this metric.
 func Table2(lab *Lab) *Table {
 	t := &Table{
 		ID:      "table2",
 		Title:   "H100 compute utilization of (512x64)x(64x512) BMM",
 		Columns: []string{"Batch Size", "Peak FLOPS Utilization"},
 	}
+	sim := lab.Engine(predict.EngineGPUSim)
+	ctx := context.Background()
 	h100 := gpu.MustLookup("H100")
 	for _, b := range []int{32, 64, 128, 256, 512} {
 		k := kernels.NewBMM(b, 512, 64, 512)
-		t.AddRow(fmt.Sprintf("%d", b), pct(lab.Sim.ComputeUtilization(k, h100)*100))
+		res, err := sim.PredictKernel(ctx, predict.Request{Kernel: k, GPU: h100})
+		must(err)
+		t.AddRow(fmt.Sprintf("%d", b), pct(res.Utilization*100))
 	}
 	return t
 }

@@ -183,10 +183,23 @@ func (s *Simulator) AchievedFLOPS(k kernels.Kernel, g gpu.Spec) float64 {
 	return k.FLOPs() / lat
 }
 
+// UtilizationFromLatency converts an already-measured latency (ms) of k on
+// g into achieved FLOPS as a fraction of the device's peak for the
+// kernel's precision — the single definition of the paper Table 2 metric,
+// shared by ComputeUtilization and callers that hold a latency and must
+// not pay a second simulation.
+func UtilizationFromLatency(k kernels.Kernel, g gpu.Spec, latencyMs float64) float64 {
+	if latencyMs <= 0 {
+		return 0
+	}
+	achieved := k.FLOPs() / (latencyMs / 1e3)
+	return achieved / (g.PeakFLOPSFor(k.DType == kernels.FP16) * 1e12)
+}
+
 // ComputeUtilization returns achieved FLOPS as a fraction of the device's
 // peak for the kernel's precision (paper Table 2's metric).
 func (s *Simulator) ComputeUtilization(k kernels.Kernel, g gpu.Spec) float64 {
-	return s.AchievedFLOPS(k, g) / (g.PeakFLOPSFor(k.DType == kernels.FP16) * 1e12)
+	return UtilizationFromLatency(k, g, s.KernelLatency(k, g))
 }
 
 func min(a, b int) int {

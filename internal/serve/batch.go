@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
+	"neusight/internal/predict"
 )
 
 // batchGroup tracks one unique cache-miss key within a batch: the in-flight
@@ -18,48 +20,83 @@ type batchGroup struct {
 	dups   []int
 }
 
-// PredictBatch forecasts every kernel in ks on g, amortizing one backend
-// evaluation across all cache misses. The layering mirrors PredictKernel,
-// batch-wide:
+// PredictBatch forecasts every kernel in ks on g with the default engine,
+// amortizing one backend evaluation across all cache misses. Results are
+// positional and per-item: lats[i]/errs[i] correspond to ks[i].
+func (s *Service) PredictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+	outs, err := s.PredictBatchEngine(context.Background(), "", ks, g)
+	lats = make([]float64, len(ks))
+	errs = make([]error, len(ks))
+	if err != nil { // unreachable for the default engine; defensive
+		for i := range errs {
+			errs[i] = err
+		}
+		return lats, errs
+	}
+	for i, out := range outs {
+		lats[i], errs[i] = out.Result.Latency, out.Err
+	}
+	return lats, errs
+}
+
+// PredictBatchEngine is PredictBatch routed to a named engine ("" selects
+// the default), returning structured outcomes. The layering mirrors
+// PredictKernelEngine, batch-wide:
 //
-//  1. cache hits are served immediately;
+//  1. cache hits are served immediately from the engine's partition;
 //  2. identical misses within the batch deduplicate onto one evaluation,
 //     and misses already in flight elsewhere (another batch or a concurrent
-//     PredictKernel) coalesce onto that evaluation instead of repeating it;
-//  3. the remaining unique misses go to the backend in a single
-//     PredictKernels call when the backend supports batching (one compiled
-//     forward pass for the whole set), else per-kernel under the pool.
+//     PredictKernel on the same engine) coalesce onto that evaluation
+//     instead of repeating it;
+//  3. the remaining unique misses go to the engine in a single
+//     PredictKernels call when it batches natively (one compiled forward
+//     pass for the whole set), else per-kernel fan-out under the pool.
 //
-// Results are positional and per-item: a failed item (network kernel,
-// untrained category, backend error) reports in errs[i] without affecting
-// its neighbors. Successful misses populate the cache. Safe for arbitrary
-// concurrent use.
+// A failed item (network kernel, untrained category, backend error) reports
+// in outs[i].Err without affecting its neighbors. Successful misses
+// populate the cache. Safe for arbitrary concurrent use.
 //
 // Trade-off: every key this batch leads resolves when the batch's single
 // backend round completes, so a concurrent request coalescing onto one of
 // them waits for the whole round rather than one kernel. That is inherent
 // to evaluating the misses in one forward pass — the alternative (not
 // registering led keys in flight) would duplicate backend work instead.
-func (s *Service) PredictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+func (s *Service) PredictBatchEngine(ctx context.Context, engine string, ks []kernels.Kernel, g gpu.Spec) ([]predict.Outcome, error) {
+	es, err := s.engine(engine)
+	if err != nil {
+		return nil, err
+	}
 	s.batches.Add(1)
 	s.batchedKernels.Add(uint64(len(ks)))
-	return s.predictBatch(ks, g)
+	return s.predictMany(ctx, es, ks, g), nil
 }
 
-// predictBatch implements PredictBatch without touching the batch-API
-// counters, so internal callers (PredictGraph) reuse the machinery while
-// batch_requests/batched_kernels keep meaning "client batch calls".
-func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error) {
+// predictMany implements the batched path against one engine partition
+// without touching the batch-API counters, so internal callers
+// (PredictGraphEngine) reuse the machinery while batch_requests /
+// batched_kernels keep meaning "client batch calls".
+func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels.Kernel, g gpu.Spec) []predict.Outcome {
 	start := time.Now()
 	s.requests.Add(uint64(len(ks)))
+	es.requests.Add(uint64(len(ks)))
 	s.inFlightNow.Add(1)
 	defer func() {
 		s.inFlightNow.Add(-1)
 		s.lat.Observe(time.Since(start))
 	}()
 
-	lats = make([]float64, len(ks))
-	errs = make([]error, len(ks))
+	outs := make([]predict.Outcome, len(ks))
+
+	// A caller that is already gone fails fast, before it can lead shared
+	// evaluations whose failure would poison coalesced waiters.
+	if err := ctx.Err(); err != nil {
+		for i := range outs {
+			outs[i].Err = err
+		}
+		s.errors.Add(uint64(len(ks)))
+		es.errors.Add(uint64(len(ks)))
+		return outs
+	}
 
 	// Partition the batch: cache hits, misses we lead, and misses another
 	// goroutine is already evaluating. Both kinds of miss deduplicate by
@@ -71,10 +108,11 @@ func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64,
 	for i, k := range ks {
 		if k.Category() == kernels.CatNetwork {
 			s.errors.Add(1)
-			errs[i] = fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
+			es.errors.Add(1)
+			outs[i].Err = fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
 			continue
 		}
-		key := cacheKey(k, g)
+		key := es.key(k, g)
 		if grp, ok := groups[key]; ok { // duplicate of a miss we lead
 			grp.dups = append(grp.dups, i)
 			continue
@@ -83,20 +121,21 @@ func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64,
 			grp.dups = append(grp.dups, i)
 			continue
 		}
-		if v, ok := s.cache.Get(key); ok {
-			lats[i] = v
+		if v, ok := es.cache.Get(key); ok {
+			outs[i].Result = v
 			continue
 		}
-		s.mu.Lock()
-		if call, ok := s.inflight[key]; ok {
-			s.mu.Unlock()
+		es.mu.Lock()
+		if call, ok := es.inflight[key]; ok {
+			es.mu.Unlock()
 			s.coalesced.Add(1)
+			es.coalesced.Add(1)
 			waiting[key] = &batchGroup{call: call, leader: i}
 			continue
 		}
 		call := &inflightCall{done: make(chan struct{})}
-		s.inflight[key] = call
-		s.mu.Unlock()
+		es.inflight[key] = call
+		es.mu.Unlock()
 		groups[key] = &batchGroup{call: call, leader: i}
 		missKeys = append(missKeys, key)
 	}
@@ -107,23 +146,24 @@ func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64,
 		for j, key := range missKeys {
 			uniq[j] = ks[groups[key].leader]
 		}
-		vals, verrs := s.runBatchBackend(uniq, g)
+		round := s.runBatchBackend(ctx, es, uniq, g)
 		for j, key := range missKeys {
 			grp := groups[key]
-			grp.call.val, grp.call.err = vals[j], verrs[j]
-			s.mu.Lock()
-			delete(s.inflight, key)
-			s.mu.Unlock()
+			grp.call.res, grp.call.err = round[j].Result, round[j].Err
+			es.mu.Lock()
+			delete(es.inflight, key)
+			es.mu.Unlock()
 			close(grp.call.done)
 			if grp.call.err == nil {
-				s.cache.Put(key, grp.call.val)
+				es.cache.Put(key, grp.call.res)
 			}
 			for _, i := range append(grp.dups, grp.leader) {
 				if grp.call.err != nil {
 					s.errors.Add(1)
-					errs[i] = grp.call.err
+					es.errors.Add(1)
+					outs[i].Err = grp.call.err
 				} else {
-					lats[i] = grp.call.val
+					outs[i].Result = grp.call.res
 				}
 			}
 		}
@@ -136,55 +176,61 @@ func (s *Service) predictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64,
 		for _, i := range append(grp.dups, grp.leader) {
 			if grp.call.err != nil {
 				s.errors.Add(1)
-				errs[i] = grp.call.err
+				es.errors.Add(1)
+				outs[i].Err = grp.call.err
 			} else {
-				lats[i] = grp.call.val
+				outs[i].Result = grp.call.res
 			}
 		}
 	}
-	return lats, errs
+	return outs
 }
 
-// runBatchBackend evaluates the unique misses of one batch. A batch-capable
-// backend gets them in one PredictKernels call under a single worker-pool
-// slot (the whole point: one compiled forward pass); a plain backend gets
-// per-kernel calls fanned out across the pool, preserving the concurrency a
-// cold graph walk had before batching existed. A backend panic — or a batch
-// backend returning mis-sized results — is converted into per-item errors
-// so every in-flight call is still resolved; nothing wedges.
-func (s *Service) runBatchBackend(ks []kernels.Kernel, g gpu.Spec) (vals []float64, errs []error) {
-	if bp, ok := s.pred.(BatchKernelPredictor); ok {
+// runBatchBackend evaluates the unique misses of one batch. An engine with
+// a native batch path gets them in one PredictKernels call under a single
+// worker-pool slot (the whole point: one compiled forward pass); an engine
+// without one gets per-kernel calls fanned out across the pool, preserving
+// the concurrency a cold graph walk had before batching existed. An engine
+// panic — or a native batch returning mis-sized results — is converted into
+// per-item errors so every in-flight call is still resolved; nothing
+// wedges.
+func (s *Service) runBatchBackend(ctx context.Context, es *engineState, ks []kernels.Kernel, g gpu.Spec) (outs []predict.Outcome) {
+	if predict.NativeBatch(es.eng) {
 		defer func() {
 			if r := recover(); r != nil {
 				err := fmt.Errorf("serve: backend panic predicting batch of %d: %v", len(ks), r)
-				vals = make([]float64, len(ks))
-				errs = make([]error, len(ks))
-				for i := range errs {
-					errs[i] = err
+				outs = make([]predict.Outcome, len(ks))
+				for i := range outs {
+					outs[i].Err = err
 				}
 			}
 		}()
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		vals, errs = bp.PredictKernels(ks, g)
-		if len(vals) != len(ks) || len(errs) != len(ks) {
-			panic(fmt.Sprintf("batch backend returned %d/%d results for %d kernels", len(vals), len(errs), len(ks)))
+		reqs := make([]predict.Request, len(ks))
+		for i, k := range ks {
+			reqs[i] = predict.Request{Kernel: k, GPU: g}
 		}
-		return vals, errs
+		// Detached from the leader's cancellation: the round's results are
+		// shared with coalesced waiters (see callEngine).
+		outs = es.eng.PredictKernels(context.WithoutCancel(ctx), reqs)
+		if len(outs) != len(ks) {
+			panic(fmt.Sprintf("batch engine returned %d results for %d kernels", len(outs), len(ks)))
+		}
+		return outs
 	}
 
-	// Backend without batch support: fan the kernels across the worker
+	// Engine without native batching: fan the kernels across the worker
 	// pool, one slot per prediction, mirroring the per-kernel path.
-	vals = make([]float64, len(ks))
-	errs = make([]error, len(ks))
+	outs = make([]predict.Outcome, len(ks))
 	var wg sync.WaitGroup
 	for i, k := range ks {
 		wg.Add(1)
 		go func(i int, k kernels.Kernel) {
 			defer wg.Done()
-			vals[i], errs[i] = s.callBackend(k, g)
+			outs[i].Result, outs[i].Err = s.callEngine(ctx, es, k, g)
 		}(i, k)
 	}
 	wg.Wait()
-	return vals, errs
+	return outs
 }

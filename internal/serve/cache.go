@@ -3,10 +3,12 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"neusight/internal/predict"
 )
 
 // lruCache is a thread-safe fixed-capacity LRU map from prediction key to
-// forecast latency. It is the serving layer's first line of defense: DNN
+// structured forecast result. It is the serving layer's first line of defense: DNN
 // graphs repeat identical kernels across layers and users repeat identical
 // workload/GPU queries, so the hit rate on realistic traffic is high.
 type lruCache struct {
@@ -21,7 +23,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val float64
+	val predict.Result
 }
 
 // newLRUCache returns a cache holding at most capacity entries. A capacity
@@ -35,13 +37,13 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // Get returns the cached value for key, marking it most recently used.
-func (c *lruCache) Get(key string) (float64, bool) {
+func (c *lruCache) Get(key string) (predict.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return 0, false
+		return predict.Result{}, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
@@ -50,7 +52,7 @@ func (c *lruCache) Get(key string) (float64, bool) {
 
 // Put inserts or refreshes key, evicting the least recently used entry when
 // the cache is full.
-func (c *lruCache) Put(key string, val float64) {
+func (c *lruCache) Put(key string, val predict.Result) {
 	if c.cap <= 0 {
 		return
 	}

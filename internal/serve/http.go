@@ -1,15 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
+	"neusight/internal/core"
 	"neusight/internal/gpu"
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
 	"neusight/internal/models"
+	"neusight/internal/predict"
 )
 
 // KernelRequest is the JSON body of POST /v1/predict/kernel. Dimension
@@ -209,24 +212,148 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return false
 }
 
-// NewHandler returns the HTTP API for s:
-//
-//	POST /v1/predict/kernel  — one kernel forecast (KernelRequest)
-//	POST /v1/predict/batch   — many kernels, one batched forecast (BatchRequest)
-//	POST /v1/predict/graph   — end-to-end workload forecast (GraphRequest)
-//	GET  /v1/healthz         — liveness probe
-//	GET  /v1/stats           — cache hit rate, latency percentiles, counters
-//	GET  /metrics            — the same counters in Prometheus text format
-func NewHandler(s *Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+// KernelRequestV2 is the JSON body of POST /v2/predict/kernel: a
+// KernelRequest plus the engine to route to ("" selects the default).
+type KernelRequestV2 struct {
+	KernelRequest
+	Engine string `json:"engine"`
+}
+
+// KernelResponseV2 is the JSON reply of /v2/predict/kernel: the v1 fields
+// plus the engine that answered, how it derived the forecast, and the
+// utilization behind it (0 when the engine models none).
+type KernelResponseV2 struct {
+	KernelResponse
+	Engine      string  `json:"engine"`
+	Source      string  `json:"source"`
+	Utilization float64 `json:"utilization"`
+}
+
+// BatchRequestV2 is the JSON body of POST /v2/predict/batch.
+type BatchRequestV2 struct {
+	BatchRequest
+	Engine string `json:"engine"`
+}
+
+// BatchResponseV2 is the JSON reply of /v2/predict/batch.
+type BatchResponseV2 struct {
+	BatchResponse
+	Engine string `json:"engine"`
+}
+
+// GraphRequestV2 is the JSON body of POST /v2/predict/graph.
+type GraphRequestV2 struct {
+	GraphRequest
+	Engine string `json:"engine"`
+}
+
+// GraphResponseV2 is the JSON reply of /v2/predict/graph: the v1 fields
+// plus the engine and a report of how the forecast was assembled. When any
+// kernel fell back to the memory-bound estimate, Warning carries the
+// aggregate error — the forecast is still returned, but its degraded
+// provenance is no longer silent.
+type GraphResponseV2 struct {
+	GraphResponse
+	Engine  string           `json:"engine"`
+	Report  core.GraphReport `json:"report"`
+	Warning string           `json:"warning,omitempty"`
+}
+
+// EngineInfo describes one registered engine on GET /v2/engines.
+type EngineInfo struct {
+	Name        string `json:"name"`
+	Default     bool   `json:"default"`
+	NativeBatch bool   `json:"native_batch"`
+	Generation  uint64 `json:"generation"`
+	Source      string `json:"source,omitempty"`
+	Trainable   bool   `json:"trainable,omitempty"`
+	Description string `json:"description,omitempty"`
+}
+
+// EnginesResponse is the JSON reply of GET /v2/engines.
+type EnginesResponse struct {
+	Default string       `json:"default"`
+	Engines []EngineInfo `json:"engines"`
+}
+
+// StatsV2 is the JSON reply of GET /v2/stats: the aggregate counters plus
+// one entry per engine partition traffic has touched.
+type StatsV2 struct {
+	Stats
+	Engines []EngineStats `json:"engines"`
+}
+
+// predictErrorCode classifies a Predict*Engine error for HTTP: naming an
+// unregistered engine is a client error (400, the message lists the
+// registered set); anything else is an unpredictable request (422).
+func predictErrorCode(err error) int {
+	if errors.Is(err, predict.ErrUnknownEngine) {
+		return http.StatusBadRequest
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// handleKernel serves the kernel endpoint for both API versions: v1 pins
+// the default engine and answers with the v1 response shape; v2 routes by
+// the request's engine field and annotates the reply.
+func handleKernel(s *Service, v2 bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		var req BatchRequest
+		var req KernelRequestV2
 		if !decodeBody(w, r, &req) {
 			return
+		}
+		if !v2 {
+			req.Engine = ""
+		}
+		k, err := buildKernel(req.KernelRequest)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		g, err := gpu.Lookup(req.GPU)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := s.PredictKernelEngine(r.Context(), req.Engine, k, g)
+		if err != nil {
+			writeError(w, predictErrorCode(err), err.Error())
+			return
+		}
+		v1 := KernelResponse{
+			Kernel: k.Label(), GPU: g.Name, LatencyMs: res.Latency,
+			FLOPs: k.FLOPs(), MemBytes: k.MemBytes(),
+		}
+		if !v2 {
+			writeJSON(w, http.StatusOK, v1)
+			return
+		}
+		writeJSON(w, http.StatusOK, KernelResponseV2{
+			KernelResponse: v1,
+			Engine:         res.Engine,
+			Source:         res.Source,
+			Utilization:    res.Utilization,
+		})
+	}
+}
+
+// handleBatch serves the batch endpoint for both API versions.
+func handleBatch(s *Service, v2 bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req BatchRequestV2
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if !v2 {
+			req.Engine = ""
 		}
 		if len(req.Kernels) == 0 {
 			writeError(w, http.StatusBadRequest, "empty batch: provide at least one kernel")
@@ -257,53 +384,49 @@ func NewHandler(s *Service) http.Handler {
 			ks = append(ks, k)
 			pos = append(pos, i)
 		}
-		lats, errs := s.PredictBatch(ks, g)
+		outs, err := s.PredictBatchEngine(r.Context(), req.Engine, ks, g)
+		if err != nil {
+			writeError(w, predictErrorCode(err), err.Error())
+			return
+		}
 		for j, i := range pos {
-			if errs[j] != nil {
-				items[i].Error = errs[j].Error()
+			if outs[j].Err != nil {
+				items[i].Error = outs[j].Err.Error()
 				continue
 			}
-			items[i].LatencyMs = lats[j]
+			items[i].LatencyMs = outs[j].Result.Latency
 		}
-		writeJSON(w, http.StatusOK, BatchResponse{GPU: g.Name, Count: len(items), Items: items})
-	})
-	mux.HandleFunc("/v1/predict/kernel", func(w http.ResponseWriter, r *http.Request) {
+		v1 := BatchResponse{GPU: g.Name, Count: len(items), Items: items}
+		if !v2 {
+			writeJSON(w, http.StatusOK, v1)
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponseV2{BatchResponse: v1, Engine: requestedEngine(s, req.Engine)})
+	}
+}
+
+// requestedEngine resolves the engine name a response should echo: the
+// explicitly requested one, else the service default.
+func requestedEngine(s *Service, name string) string {
+	if name == "" {
+		return s.DefaultEngine()
+	}
+	return name
+}
+
+// handleGraph serves the graph endpoint for both API versions.
+func handleGraph(s *Service, v2 bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		var req KernelRequest
+		var req GraphRequestV2
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		k, err := buildKernel(req)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		g, err := gpu.Lookup(req.GPU)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		lat, err := s.PredictKernel(k, g)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, KernelResponse{
-			Kernel: k.Label(), GPU: g.Name, LatencyMs: lat,
-			FLOPs: k.FLOPs(), MemBytes: k.MemBytes(),
-		})
-	})
-	mux.HandleFunc("/v1/predict/graph", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		var req GraphRequest
-		if !decodeBody(w, r, &req) {
-			return
+		if !v2 {
+			req.Engine = ""
 		}
 		if req.Batch <= 0 {
 			req.Batch = 1
@@ -332,17 +455,103 @@ func NewHandler(s *Service) http.Handler {
 		if req.Fused {
 			gr = graph.Fuse(gr)
 		}
-		lat := s.PredictGraph(gr, g)
-		writeJSON(w, http.StatusOK, GraphResponse{
+		lat, rep, gerr := s.PredictGraphEngine(r.Context(), req.Engine, gr, g)
+		// An unknown engine or a cancellation abort is a failed forecast,
+		// not a degraded one: the fold never ran (or stopped), so the total
+		// must not be served as an answer. Fallback aggregation errors fall
+		// through and surface as the v2 warning instead.
+		if gerr != nil && (errors.Is(gerr, predict.ErrUnknownEngine) ||
+			errors.Is(gerr, context.Canceled) || errors.Is(gerr, context.DeadlineExceeded)) {
+			writeError(w, predictErrorCode(gerr), gerr.Error())
+			return
+		}
+		v1 := GraphResponse{
 			Workload: m.Name, GPU: g.Name, Batch: req.Batch,
 			Training: req.Training, Fused: req.Fused,
 			Kernels: len(gr.Nodes), TotalFLOPs: gr.TotalFLOPs(), LatencyMs: lat,
 			FitsMemory: m.FitsInMemory(req.Batch, g, req.Training),
-		})
+		}
+		if !v2 {
+			writeJSON(w, http.StatusOK, v1)
+			return
+		}
+		resp := GraphResponseV2{GraphResponse: v1, Engine: requestedEngine(s, req.Engine), Report: rep}
+		if gerr != nil {
+			resp.Warning = gerr.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleEngines serves GET /v2/engines: the registered engine set with
+// routing metadata, cross-referenced against the standard-catalog
+// descriptions when names match.
+func handleEngines(s *Service) http.HandlerFunc {
+	catalog := map[string]predict.Info{}
+	for _, info := range predict.Catalog() {
+		catalog[info.Name] = info
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		resp := EnginesResponse{Default: s.DefaultEngine()}
+		for _, name := range s.Registry().List() {
+			eng, err := s.Registry().Get(name)
+			if err != nil {
+				continue // racing deregistration: not supported, but harmless
+			}
+			info := EngineInfo{
+				Name:        name,
+				Default:     name == s.DefaultEngine(),
+				NativeBatch: predict.NativeBatch(eng),
+				Generation:  predict.Generation(eng),
+			}
+			if c, ok := catalog[name]; ok {
+				info.Source = c.Source
+				info.Trainable = c.Trainable
+				info.Description = c.Description
+			}
+			resp.Engines = append(resp.Engines, info)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// NewHandler returns the HTTP API for s.
+//
+// The versioned prediction API: /v2 routes per request via the "engine"
+// field (default engine when absent) and annotates responses with engine,
+// source, utilization, and graph assembly reports; /v1 remains a stable
+// alias for the default engine with the original response shapes.
+//
+//	POST /v2/predict/kernel  — one kernel forecast (KernelRequestV2)
+//	POST /v2/predict/batch   — many kernels, one batched forecast (BatchRequestV2)
+//	POST /v2/predict/graph   — end-to-end workload forecast (GraphRequestV2)
+//	GET  /v2/engines         — the registered engine set and default
+//	GET  /v2/stats           — aggregate plus per-engine counters
+//	POST /v1/predict/kernel|batch|graph — v1-shaped aliases, default engine
+//	GET  /v1/healthz         — liveness probe (also /v2/healthz)
+//	GET  /v1/stats           — aggregate counters only
+//	GET  /metrics            — Prometheus text format, engine-labeled series included
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict/kernel", handleKernel(s, false))
+	mux.HandleFunc("/v1/predict/batch", handleBatch(s, false))
+	mux.HandleFunc("/v1/predict/graph", handleGraph(s, false))
+	mux.HandleFunc("/v2/predict/kernel", handleKernel(s, true))
+	mux.HandleFunc("/v2/predict/batch", handleBatch(s, true))
+	mux.HandleFunc("/v2/predict/graph", handleGraph(s, true))
+	mux.HandleFunc("/v2/engines", handleEngines(s))
+	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsV2{Stats: s.Stats(), Engines: s.EngineStats()})
 	})
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "backend": s.Backend()})
-	})
+	}
+	mux.HandleFunc("/v1/healthz", healthz)
+	mux.HandleFunc("/v2/healthz", healthz)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})

@@ -292,7 +292,13 @@ func TestHTTPMetricsExpositionFormat(t *testing.T) {
 			if len(f) != 2 {
 				t.Fatalf("malformed sample line %q", line)
 			}
-			if f[0] != lastType {
+			// Engine-labeled samples carry {engine="..."}; the family name
+			// is everything before the label set.
+			family := f[0]
+			if i := strings.IndexByte(family, '{'); i >= 0 {
+				family = family[:i]
+			}
+			if family != lastType {
 				t.Errorf("sample %s not preceded by its TYPE line (%s)", f[0], lastType)
 			}
 			v, err := strconv.ParseFloat(f[1], 64)
@@ -325,6 +331,24 @@ func TestHTTPMetricsExpositionFormat(t *testing.T) {
 	}
 	if _, ok := samples["neusight_uptime_seconds"]; !ok {
 		t.Error("uptime gauge missing")
+	}
+	// The engine-labeled series must mirror the single engine's share of
+	// the traffic — here all of it.
+	wantEngine := map[string]float64{
+		`neusight_engine_requests_total{engine="stub"}`:     4,
+		`neusight_engine_cache_hits_total{engine="stub"}`:   1,
+		`neusight_engine_cache_misses_total{engine="stub"}`: 3,
+		`neusight_engine_errors_total{engine="stub"}`:       0,
+	}
+	for name, v := range wantEngine {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("labeled metric %s missing from exposition", name)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
 	}
 }
 

@@ -57,11 +57,59 @@ func WriteMetrics(w io.Writer, st Stats) error {
 	return nil
 }
 
-// metricsHandler serves the service counters as a Prometheus scrape target.
+// engineFamily is one engine-labeled metric family: HELP/TYPE metadata and
+// one sample per engine partition.
+type engineFamily struct {
+	name  string
+	help  string
+	typ   string
+	value func(EngineStats) float64
+}
+
+var engineFamilies = []engineFamily{
+	{"neusight_engine_requests_total", "Kernel predictions requested, by engine.", "counter",
+		func(e EngineStats) float64 { return float64(e.Requests) }},
+	{"neusight_engine_errors_total", "Predictions that returned an error, by engine.", "counter",
+		func(e EngineStats) float64 { return float64(e.Errors) }},
+	{"neusight_engine_coalesced_total", "Requests coalesced onto an identical in-flight prediction, by engine.", "counter",
+		func(e EngineStats) float64 { return float64(e.Coalesced) }},
+	{"neusight_engine_cache_hits_total", "Prediction cache hits, by engine.", "counter",
+		func(e EngineStats) float64 { return float64(e.CacheHits) }},
+	{"neusight_engine_cache_misses_total", "Prediction cache misses, by engine.", "counter",
+		func(e EngineStats) float64 { return float64(e.CacheMisses) }},
+	{"neusight_engine_cache_entries", "Prediction cache entries currently resident, by engine.", "gauge",
+		func(e EngineStats) float64 { return float64(e.CacheLen) }},
+	{"neusight_engine_generation", "Engine state generation (bumps on retrain; cached forecasts from older generations are unreachable).", "gauge",
+		func(e EngineStats) float64 { return float64(e.Generation) }},
+}
+
+// WriteEngineMetrics renders per-engine labeled series, one family per
+// block with one labeled sample per engine. Engines with no traffic yet
+// have no partition and therefore no series.
+func WriteEngineMetrics(w io.Writer, engines []EngineStats) error {
+	for _, f := range engineFamilies {
+		if len(engines) == 0 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, e := range engines {
+			if _, err := fmt.Fprintf(w, "%s{engine=%q} %v\n", f.name, e.Engine, f.value(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// metricsHandler serves the service counters as a Prometheus scrape target:
+// the aggregate families first, then the engine-labeled families.
 func metricsHandler(s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
 		w.WriteHeader(http.StatusOK)
 		WriteMetrics(w, s.Stats())
+		WriteEngineMetrics(w, s.EngineStats())
 	}
 }

@@ -1,19 +1,27 @@
-// Package serve is the production serving layer of the framework: it wraps
-// a trained predictor behind a thread-safe Service that caches, coalesces,
-// and rate-bounds kernel-latency forecasts, and exposes the result as an
-// HTTP JSON API (see http.go) wired into the `neusight serve` subcommand.
+// Package serve is the production serving layer of the framework: it routes
+// prediction traffic across a registry of latency engines behind a
+// thread-safe Service that caches, coalesces, and rate-bounds kernel
+// forecasts, and exposes the result as a versioned HTTP JSON API (see
+// http.go) wired into the `neusight serve` subcommand.
 //
 // The serving shape follows directly from the NeuSight design
 // (conf_asplos_LeeP025): a forecast decomposes into per-kernel queries
-// against small MLPs, DNN graphs repeat identical kernels across layers,
-// and users repeat identical (workload, GPU) questions — so an LRU keyed by
-// (kernel fingerprint, GPU) absorbs most traffic, and coalescing collapses
-// identical in-flight misses onto a single MLP evaluation.
+// against small models, DNN graphs repeat identical kernels across layers,
+// and users repeat identical (workload, GPU) questions — so a per-engine
+// LRU keyed by (kernel fingerprint, GPU, engine generation) absorbs most
+// traffic, and coalescing collapses identical in-flight misses onto a
+// single model evaluation. Multi-engine routing rides the same machinery:
+// every registered engine gets its own cache partition, in-flight table,
+// and counters, so a cheap roofline bound and the learned NeuSight pipeline
+// are a per-request routing decision, not separate deployments.
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,10 +30,11 @@ import (
 	"neusight/internal/gpu"
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
+	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
 
-// KernelPredictor is the prediction backend the service wraps. Both
+// KernelPredictor is the legacy single-backend contract New wraps. Both
 // *core.Predictor and *core.Ensemble satisfy it; tests substitute stubs.
 // Implementations must be safe for concurrent PredictKernel calls.
 type KernelPredictor interface {
@@ -33,11 +42,9 @@ type KernelPredictor interface {
 	PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error)
 }
 
-// BatchKernelPredictor is optionally implemented by backends that can
-// amortize one model evaluation across many kernels (*core.Predictor does,
-// via its compiled inference path). When the wrapped backend implements it,
-// PredictBatch forwards all cache misses in a single call; otherwise it
-// falls back to per-kernel backend predictions. Results are positional and
+// BatchKernelPredictor is optionally implemented by legacy backends that
+// can amortize one model evaluation across many kernels (*core.Predictor
+// does, via its compiled inference path). Results are positional and
 // per-item: lats[i]/errs[i] correspond to ks[i].
 type BatchKernelPredictor interface {
 	PredictKernels(ks []kernels.Kernel, g gpu.Spec) (lats []float64, errs []error)
@@ -45,11 +52,11 @@ type BatchKernelPredictor interface {
 
 // Config sizes the service.
 type Config struct {
-	// CacheSize is the LRU capacity in entries. Zero means DefaultCacheSize;
-	// negative disables caching.
+	// CacheSize is the LRU capacity in entries of each engine's cache
+	// partition. Zero means DefaultCacheSize; negative disables caching.
 	CacheSize int
-	// Workers bounds how many predictions run concurrently in the backend.
-	// Zero means GOMAXPROCS.
+	// Workers bounds how many predictions run concurrently in the backends
+	// (shared across engines). Zero means GOMAXPROCS.
 	Workers int
 	// LatencyWindow is the request-latency ring size for percentile stats.
 	// Zero means a reasonable default.
@@ -62,26 +69,29 @@ type Config struct {
 const DefaultCacheSize = 4096
 
 // Service is a thread-safe prediction server. It layers three mechanisms
-// over the backend predictor:
+// over every registered engine:
 //
-//  1. an LRU prediction cache keyed by (kernel fingerprint, GPU name);
+//  1. a per-engine LRU prediction cache keyed by (kernel fingerprint, GPU
+//     name) plus the engine's state generation, so retraining invalidates
+//     cached forecasts without a manual flush;
 //  2. request coalescing: concurrent misses on the same key share one
 //     backend evaluation instead of duplicating it;
-//  3. a bounded worker pool so graph fan-out cannot oversubscribe the CPU.
+//  3. a bounded worker pool shared across engines so graph fan-out cannot
+//     oversubscribe the CPU.
 //
-// The Service assumes a frozen backend: latencies are cached until LRU
-// eviction, so if the wrapped predictor is re-trained or its tile database
-// grows while serving, call FlushCache afterwards or stale forecasts will
-// be served indefinitely.
+// Requests name an engine (or take the default); engines are looked up in
+// the registry per request, so engines registered after the service starts
+// become routable immediately.
 type Service struct {
-	pred  KernelPredictor
-	cache *lruCache
-	sem   chan struct{}
-	lat   *latencyWindow
-	start time.Time
+	reg       *predict.Registry
+	def       string
+	cacheSize int
+	sem       chan struct{}
+	lat       *latencyWindow
+	start     time.Time
 
-	mu       sync.Mutex
-	inflight map[string]*inflightCall
+	emu     sync.RWMutex
+	engines map[string]*engineState
 
 	requests       atomic.Uint64
 	coalesced      atomic.Uint64
@@ -92,18 +102,64 @@ type Service struct {
 	inFlightNow    atomic.Int64
 }
 
+// engineState is one engine's serving partition: its cache shard, its
+// in-flight table (single and batch paths share it, so they coalesce with
+// each other), and its slice of the counters.
+type engineState struct {
+	name  string
+	eng   predict.Engine
+	cache *lruCache
+
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// key fingerprints a prediction request with the same fingerprint the
+// predictor's tile cache and the tile DB memo use, prefixed with the
+// engine's state generation when it tracks one — so a retrain makes every
+// prior entry unreachable (it then ages out of the LRU) instead of being
+// served stale.
+func (es *engineState) key(k kernels.Kernel, g gpu.Spec) string {
+	key := tile.QueryKey(k, g)
+	if gen, ok := es.eng.(predict.Generational); ok {
+		key = "g" + strconv.FormatUint(gen.Generation(), 10) + "|" + key
+	}
+	return key
+}
+
 // inflightCall is one in-progress backend prediction that later arrivals
 // for the same key wait on.
 type inflightCall struct {
 	done chan struct{}
-	val  float64
+	res  predict.Result
 	err  error
 }
 
-// New returns a Service wrapping pred.
+// New returns a Service wrapping a single legacy backend: pred is adapted
+// into an engine registered under its own name, which becomes the default.
+// Existing callers keep the exact pre-registry behavior.
 func New(pred KernelPredictor, cfg Config) *Service {
 	if pred == nil {
 		panic("serve: nil predictor")
+	}
+	reg := predict.NewRegistry()
+	eng := predict.AdaptBackend(pred)
+	reg.MustRegister(eng)
+	return NewMulti(reg, eng.Name(), cfg)
+}
+
+// NewMulti returns a Service routing across every engine in reg, serving
+// defaultEngine when a request does not name one.
+func NewMulti(reg *predict.Registry, defaultEngine string, cfg Config) *Service {
+	if reg == nil {
+		panic("serve: nil registry")
+	}
+	if _, err := reg.Get(defaultEngine); err != nil {
+		panic(fmt.Sprintf("serve: default engine not registered: %v", err))
 	}
 	size := cfg.CacheSize
 	if size == 0 {
@@ -114,38 +170,106 @@ func New(pred KernelPredictor, cfg Config) *Service {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Service{
-		pred:     pred,
-		cache:    newLRUCache(size),
-		sem:      make(chan struct{}, workers),
-		lat:      newLatencyWindow(cfg.LatencyWindow),
-		start:    time.Now(),
-		inflight: map[string]*inflightCall{},
+		reg:       reg,
+		def:       defaultEngine,
+		cacheSize: size,
+		sem:       make(chan struct{}, workers),
+		lat:       newLatencyWindow(cfg.LatencyWindow),
+		start:     time.Now(),
+		engines:   map[string]*engineState{},
 	}
 }
 
-// Backend returns the wrapped predictor's name.
-func (s *Service) Backend() string { return s.pred.Name() }
+// Registry returns the engine registry the service routes across.
+func (s *Service) Registry() *predict.Registry { return s.reg }
 
-// FlushCache drops every cached prediction (hit/miss counters are kept).
-// Call it after mutating the backend — re-training the predictor or adding
-// tile records — so subsequent requests re-resolve against the new state.
-func (s *Service) FlushCache() {
-	s.cache.Flush()
+// DefaultEngine returns the engine name served when a request names none.
+func (s *Service) DefaultEngine() string { return s.def }
+
+// Backend returns the default engine's name — the pre-registry notion of
+// "the backend".
+func (s *Service) Backend() string { return s.def }
+
+// engine resolves name ("" means the default) to its serving state,
+// creating the partition on first use so engines registered after the
+// service started are routable.
+func (s *Service) engine(name string) (*engineState, error) {
+	if name == "" {
+		name = s.def
+	}
+	s.emu.RLock()
+	es, ok := s.engines[name]
+	s.emu.RUnlock()
+	if ok {
+		return es, nil
+	}
+	eng, err := s.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	if es, ok := s.engines[name]; ok {
+		return es, nil
+	}
+	es = &engineState{
+		name:     name,
+		eng:      eng,
+		cache:    newLRUCache(s.cacheSize),
+		inflight: map[string]*inflightCall{},
+	}
+	s.engines[name] = es
+	return es, nil
 }
 
-// cacheKey fingerprints a prediction request with the same fingerprint the
-// predictor's tile cache and the tile DB memo use, so every cache layer
-// agrees on request identity.
-func cacheKey(k kernels.Kernel, g gpu.Spec) string {
-	return tile.QueryKey(k, g)
+// states returns the engine partitions created so far, sorted by name.
+func (s *Service) states() []*engineState {
+	s.emu.RLock()
+	out := make([]*engineState, 0, len(s.engines))
+	for _, es := range s.engines {
+		out = append(out, es)
+	}
+	s.emu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// FlushCache drops every cached prediction in every engine partition
+// (hit/miss counters are kept). Generation-keyed engines invalidate
+// automatically on retrain; the flush remains for backends that track no
+// generation.
+func (s *Service) FlushCache() {
+	for _, es := range s.states() {
+		es.cache.Flush()
+	}
 }
 
 // PredictKernel forecasts the latency of kernel k on device g in
-// milliseconds, serving from cache when possible and coalescing concurrent
-// identical requests. It is safe for arbitrary concurrent use.
+// milliseconds with the default engine, serving from cache when possible
+// and coalescing concurrent identical requests. It is safe for arbitrary
+// concurrent use.
 func (s *Service) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
+	res, err := s.PredictKernelEngine(context.Background(), "", k, g)
+	return res.Latency, err
+}
+
+// PredictKernelEngine is PredictKernel routed to a named engine (""
+// selects the default), with the full structured Result and request
+// context. Unknown engine names fail before any counters move.
+func (s *Service) PredictKernelEngine(ctx context.Context, engine string, k kernels.Kernel, g gpu.Spec) (predict.Result, error) {
+	es, err := s.engine(engine)
+	if err != nil {
+		return predict.Result{}, err
+	}
+	return s.predictOne(ctx, es, k, g)
+}
+
+// predictOne is the single-kernel serving path against one engine
+// partition: cache, coalesce, then evaluate under the worker pool.
+func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Kernel, g gpu.Spec) (predict.Result, error) {
 	start := time.Now()
 	s.requests.Add(1)
+	es.requests.Add(1)
 	s.inFlightNow.Add(1)
 	defer func() {
 		s.inFlightNow.Add(-1)
@@ -154,99 +278,125 @@ func (s *Service) PredictKernel(k kernels.Kernel, g gpu.Spec) (float64, error) {
 
 	if k.Category() == kernels.CatNetwork {
 		s.errors.Add(1)
-		return 0, fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
+		es.errors.Add(1)
+		return predict.Result{}, fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
 	}
 
-	key := cacheKey(k, g)
-	if v, ok := s.cache.Get(key); ok {
+	// A caller that is already gone fails fast, before it can become the
+	// leader of a shared evaluation.
+	if err := ctx.Err(); err != nil {
+		s.errors.Add(1)
+		es.errors.Add(1)
+		return predict.Result{}, err
+	}
+
+	key := es.key(k, g)
+	if v, ok := es.cache.Get(key); ok {
 		return v, nil
 	}
 
-	s.mu.Lock()
-	if call, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
+	es.mu.Lock()
+	if call, ok := es.inflight[key]; ok {
+		es.mu.Unlock()
 		s.coalesced.Add(1)
+		es.coalesced.Add(1)
 		<-call.done
 		if call.err != nil {
 			s.errors.Add(1)
+			es.errors.Add(1)
 		}
-		return call.val, call.err
+		return call.res, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
-	s.inflight[key] = call
-	s.mu.Unlock()
+	es.inflight[key] = call
+	es.mu.Unlock()
 
-	s.runBackend(call, key, k, g)
+	s.runBackend(ctx, es, call, key, k, g)
 
 	if call.err != nil {
 		s.errors.Add(1)
-		return 0, call.err
+		es.errors.Add(1)
+		return predict.Result{}, call.err
 	}
-	s.cache.Put(key, call.val)
-	return call.val, nil
+	es.cache.Put(key, call.res)
+	return call.res, nil
 }
 
-// runBackend executes the backend prediction for a registered in-flight
-// call. Unregistering the call and closing done run even if the backend
-// panics (callBackend converts the panic to an error), so both the leader
+// runBackend executes the engine prediction for a registered in-flight
+// call. Unregistering the call and closing done run even if the engine
+// panics (callEngine converts the panic to an error), so both the leader
 // and every coalesced waiter fail cleanly instead of wedging the key
 // forever.
-func (s *Service) runBackend(call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
+func (s *Service) runBackend(ctx context.Context, es *engineState, call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
 	defer func() {
-		s.mu.Lock()
-		delete(s.inflight, key)
-		s.mu.Unlock()
+		es.mu.Lock()
+		delete(es.inflight, key)
+		es.mu.Unlock()
 		close(call.done)
 	}()
-	call.val, call.err = s.callBackend(k, g)
+	call.res, call.err = s.callEngine(ctx, es, k, g)
 }
 
-// callBackend runs one per-kernel backend prediction under a worker-pool
-// slot, converting a backend panic into an error with the slot released.
+// callEngine runs one per-kernel engine prediction under a worker-pool
+// slot, converting an engine panic into an error with the slot released.
 // It is the shared primitive of the single-kernel path and the batch
-// fallback for backends without native batch support.
-func (s *Service) callBackend(k kernels.Kernel, g gpu.Spec) (val float64, err error) {
+// fan-out for engines without native batch support.
+//
+// The evaluation runs detached from the caller's cancellation: in-flight
+// calls are shared by coalescing, so cancelling the leader's request must
+// not poison the result every coalesced waiter receives (the classic
+// singleflight-with-context bug). Cancelled callers fail fast before
+// leading or joining an evaluation instead.
+func (s *Service) callEngine(ctx context.Context, es *engineState, k kernels.Kernel, g gpu.Spec) (res predict.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			res = predict.Result{}
 			err = fmt.Errorf("serve: backend panic predicting %s: %v", k.Label(), r)
 		}
 	}()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	return s.pred.PredictKernel(k, g)
+	return es.eng.PredictKernel(context.WithoutCancel(ctx), predict.Request{Kernel: k, GPU: g})
 }
 
-// PredictGraph forecasts the end-to-end latency of gr on g under the
-// paper's sequential-execution assumption by routing every predictable
-// kernel through the batched prediction machinery (see PredictBatch; the
-// batch-API counters are not incremented — they track client batch calls):
-// cache hits are served directly, the misses collapse into a single batched
-// backend evaluation, and identical kernels — within the graph or across
-// concurrent PredictGraph calls — share cache entries and coalesce. Kernels
-// that fail to predict contribute their memory-bound fallback, mirroring
-// core.Predictor.PredictGraph.
+// PredictGraph forecasts the end-to-end latency of gr on g with the
+// default engine under the paper's sequential-execution assumption.
+// Kernels that fail to predict contribute their memory-bound fallback,
+// mirroring core.Predictor.PredictGraph.
 func (s *Service) PredictGraph(gr *graph.Graph, g gpu.Spec) float64 {
+	lat, _, _ := s.PredictGraphEngine(context.Background(), "", gr, g)
+	return lat
+}
+
+// PredictGraphEngine is PredictGraph routed to a named engine ("" selects
+// the default). It routes every predictable kernel through the batched
+// prediction machinery (cache hits served directly, misses collapsed into
+// one backend round, identical kernels coalesced) and reports how the
+// forecast was assembled: the error is non-nil when any kernel fell back
+// to the memory-bound estimate, with the report counting them — failures
+// are surfaced, not silently absorbed into the total.
+func (s *Service) PredictGraphEngine(ctx context.Context, engine string, gr *graph.Graph, g gpu.Spec) (float64, core.GraphReport, error) {
+	es, err := s.engine(engine)
+	if err != nil {
+		return 0, core.GraphReport{}, err
+	}
 	s.graphs.Add(1)
+	var rep core.GraphReport
 	ks := make([]kernels.Kernel, 0, len(gr.Nodes))
 	for _, n := range gr.Nodes {
 		if n.Kernel.Category() == kernels.CatNetwork {
-			continue // network ops are priced by the distributed layer
+			rep.Network++ // network ops are priced by the distributed layer
+			continue
 		}
 		ks = append(ks, n.Kernel)
 	}
-	lats, errs := s.predictBatch(ks, g)
-	total := 0.0
-	for i, l := range lats {
-		if errs[i] != nil {
-			l = core.MemBoundLatency(ks[i], g)
-		}
-		total += l
-	}
-	return total
+	total, err := predict.FoldOutcomes(s.predictMany(ctx, es, ks, g), ks, g, &rep)
+	return total, rep, err
 }
 
-// Stats is a point-in-time snapshot of the service counters, exposed on
-// /v1/stats and consumed by the throughput benchmark.
+// Stats is a point-in-time snapshot of the aggregate service counters,
+// exposed on /v1/stats and consumed by the throughput benchmark. Cache
+// counters sum over every engine partition.
 type Stats struct {
 	Backend        string  `json:"backend"`
 	Requests       uint64  `json:"requests"`
@@ -266,20 +416,42 @@ type Stats struct {
 	UptimeSec      float64 `json:"uptime_sec"`
 }
 
-// Stats returns the current counters. HitRate is hits/(hits+misses), 0
-// before any traffic.
+// EngineStats is one engine partition's slice of the counters, exposed on
+// /v2/stats and as labeled Prometheus series.
+type EngineStats struct {
+	Engine      string  `json:"engine"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	Coalesced   uint64  `json:"coalesced"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	CacheLen    int     `json:"cache_len"`
+	HitRate     float64 `json:"hit_rate"`
+	NativeBatch bool    `json:"native_batch"`
+	Generation  uint64  `json:"generation"`
+}
+
+// Stats returns the current aggregate counters. HitRate is
+// hits/(hits+misses), 0 before any traffic.
 func (s *Service) Stats() Stats {
-	hits, misses := s.cache.Counters()
+	var hits, misses uint64
+	var length int
+	for _, es := range s.states() {
+		h, m := es.cache.Counters()
+		hits += h
+		misses += m
+		length += es.cache.Len()
+	}
 	ps := s.lat.Percentiles(0.50, 0.90, 0.99)
 	st := Stats{
-		Backend:        s.pred.Name(),
+		Backend:        s.def,
 		Requests:       s.requests.Load(),
 		GraphRequests:  s.graphs.Load(),
 		BatchRequests:  s.batches.Load(),
 		BatchedKernels: s.batchedKernels.Load(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
-		CacheLen:       s.cache.Len(),
+		CacheLen:       length,
 		Coalesced:      s.coalesced.Load(),
 		Errors:         s.errors.Load(),
 		InFlight:       s.inFlightNow.Load(),
@@ -292,4 +464,29 @@ func (s *Service) Stats() Stats {
 		st.HitRate = float64(hits) / float64(total)
 	}
 	return st
+}
+
+// EngineStats returns per-engine counters for every partition traffic has
+// touched, sorted by engine name.
+func (s *Service) EngineStats() []EngineStats {
+	var out []EngineStats
+	for _, es := range s.states() {
+		hits, misses := es.cache.Counters()
+		st := EngineStats{
+			Engine:      es.name,
+			Requests:    es.requests.Load(),
+			Errors:      es.errors.Load(),
+			Coalesced:   es.coalesced.Load(),
+			CacheHits:   hits,
+			CacheMisses: misses,
+			CacheLen:    es.cache.Len(),
+			NativeBatch: predict.NativeBatch(es.eng),
+			Generation:  predict.Generation(es.eng),
+		}
+		if total := hits + misses; total > 0 {
+			st.HitRate = float64(hits) / float64(total)
+		}
+		out = append(out, st)
+	}
+	return out
 }

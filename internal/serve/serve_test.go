@@ -10,6 +10,7 @@ import (
 	"neusight/internal/gpu"
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
+	"neusight/internal/predict"
 )
 
 // stubPredictor is a deterministic backend that counts calls, tracks its
@@ -270,12 +271,12 @@ func TestPredictGraphSumsAndSkipsNetwork(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", 1)
-	c.Put("b", 2)
+	c.Put("a", predict.Result{Latency: 1})
+	c.Put("b", predict.Result{Latency: 2})
 	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.Put("c", 3)
+	c.Put("c", predict.Result{Latency: 3})
 	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"neusight/internal/gpu"
 	"neusight/internal/kernels"
@@ -33,9 +34,13 @@ type DB struct {
 	mu      sync.RWMutex
 	records []Record
 
-	memoMu  sync.Mutex
-	memo    map[string]Tile
-	memoGen uint64 // bumped by Add; a scan only memoizes if the generation is unchanged
+	memoMu sync.Mutex
+	memo   map[string]Tile
+	// memoGen is bumped by Add; a scan only memoizes if the generation is
+	// unchanged. Atomic rather than memoMu-guarded: Generation() sits on
+	// the serving layer's cache-key path, where an exclusive lock shared
+	// with the miss-path memo would serialize every cache hit.
+	memoGen atomic.Uint64
 }
 
 // memoLimit bounds the LookupOrSelect memo; when full the memo is dropped
@@ -66,9 +71,13 @@ func (db *DB) Add(k kernels.Kernel, g gpu.Spec, t Tile) {
 		Tile: append([]int(nil), t.Dims...),
 	})
 	db.mu.Unlock()
+	// Clear and bump in one critical section: a reader that observes the
+	// new generation must never pair it with a pre-Add memo entry (its memo
+	// access serializes behind this lock), and an in-flight scan that
+	// started under the old generation re-checks it before memoizing.
 	db.memoMu.Lock()
 	db.memo = nil
-	db.memoGen++
+	db.memoGen.Add(1)
 	db.memoMu.Unlock()
 }
 
@@ -77,9 +86,7 @@ func (db *DB) Add(k kernels.Kernel, g gpu.Spec, t Tile) {
 // compare generations to notice when a new record may have changed the
 // nearest match.
 func (db *DB) Generation() uint64 {
-	db.memoMu.Lock()
-	defer db.memoMu.Unlock()
-	return db.memoGen
+	return db.memoGen.Load()
 }
 
 // Len reports the number of stored records.
@@ -129,8 +136,8 @@ func (db *DB) Lookup(k kernels.Kernel, g gpu.Spec) (Tile, bool) {
 // changes the record set, making repeated serving-path queries O(1).
 func (db *DB) LookupOrSelect(k kernels.Kernel, g gpu.Spec) Tile {
 	key := QueryKey(k, g)
+	gen := db.memoGen.Load()
 	db.memoMu.Lock()
-	gen := db.memoGen
 	if t, ok := db.memo[key]; ok {
 		db.memoMu.Unlock()
 		return t
@@ -145,7 +152,7 @@ func (db *DB) LookupOrSelect(k kernels.Kernel, g gpu.Spec) Tile {
 	db.memoMu.Lock()
 	// Only memoize if no Add landed during the scan: a fresher record could
 	// have changed the nearest match, and a stale cache would pin it.
-	if db.memoGen == gen {
+	if db.memoGen.Load() == gen {
 		if db.memo == nil {
 			db.memo = make(map[string]Tile)
 		} else if len(db.memo) >= memoLimit {

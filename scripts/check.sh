@@ -32,6 +32,10 @@ go build ./...
 if [[ "$fast" == 1 ]]; then
   echo "==> go test ./... (fast mode, no race detector)"
   go test ./...
+  # The engine registry and serving layer are the concurrency-critical
+  # surface: they stay race-checked even in fast mode.
+  echo "==> go test -race ./internal/predict ./internal/serve"
+  go test -race ./internal/predict ./internal/serve
 else
   echo "==> go test -race ./..."
   go test -race ./...
@@ -41,6 +45,7 @@ fi
 # APIs, broken fixtures) fail CI without CI paying for real measurement.
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x ./internal/mat ./internal/core >/dev/null
+go test -run '^$' -bench 'EngineDispatch' -benchtime=1x ./internal/predict >/dev/null
 go test -run '^$' -bench 'Serve' -benchtime=1x . >/dev/null
 
 echo "OK"
