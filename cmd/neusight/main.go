@@ -14,11 +14,14 @@
 //	                 [-engine neusight]
 //	neusight quick   -workload GPT3-XL -gpu H100 -batch 2 [-engine roofline]
 //	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick]
+//	                 [-shards 8] [-warmup trace.jsonl] [-trace-record trace.jsonl]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
 // fastest way to get a forecast. "serve" exposes the engine registry as a
 // concurrent HTTP JSON API (/v2 selects an engine per request) with
-// per-engine prediction caching and request coalescing.
+// per-engine prediction caching and request coalescing; -shards splits
+// traffic by (engine, GPU) onto dedicated shards, and -warmup /
+// -trace-record persist the workload profile across restarts.
 package main
 
 import (
@@ -353,18 +356,26 @@ func buildAltEngine(name string) (predict.Engine, error) {
 // and gpusim engines; -quick additionally trains the comparison baselines
 // (habitat, liregression, direct-mlp, direct-transformer) on the generated
 // dataset so every engine of the standard set is routable via /v2.
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes
-// immediately, in-flight requests drain up to -drain, then the process
-// exits cleanly.
+//
+// -shards partitions traffic by (engine, GPU) onto dedicated shards;
+// -warmup replays a workload trace into the caches before the listener
+// opens, and -trace-record appends the served keys to one for the next
+// restart. SIGINT/SIGTERM trigger a graceful shutdown: the listener
+// closes immediately, in-flight requests drain up to -drain, then the
+// process exits cleanly (flushing the trace, if recording).
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	modelPath := fs.String("model", "", "trained predictor path (from `neusight train`)")
 	tilePath := fs.String("tiles", "tiles.json", "tile database path")
 	quickTrain := fs.Bool("quick", false, "train a reduced predictor in-process instead of loading one")
-	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "per-engine prediction LRU cache size (entries; negative disables)")
+	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "prediction LRU cache size per partition (entries; negative disables)")
 	workers := fs.Int("workers", 0, "max concurrent backend predictions (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+	shards := fs.Int("shards", 0, "shard traffic by (engine, GPU) onto this many dedicated shards (0 or 1 = unsharded)")
+	shardQueue := fs.Int("shard-queue", 0, "per-shard in-flight request bound before 503 backpressure (0 = default, negative = unbounded)")
+	tracePath := fs.String("trace-record", "", "append served (kernel, GPU, engine) keys to this JSONL workload trace")
+	warmupPath := fs.String("warmup", "", "replay this workload trace to warm caches before accepting traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -404,13 +415,50 @@ func serveCmd(args []string) error {
 		}
 		reg.MustRegister(eng)
 	}
-	svc := serve.NewMulti(reg, predict.EngineNeuSight, serve.Config{CacheSize: *cacheSize, Workers: *workers})
+	svc := serve.NewMulti(reg, predict.EngineNeuSight, serve.Config{
+		CacheSize: *cacheSize, Workers: *workers,
+		Shards: *shards, ShardQueue: *shardQueue,
+	})
+	// The recorder attaches before warmup so a rotated trace
+	// (-warmup old.jsonl -trace-record new.jsonl) re-records the warmed
+	// working set into the new file — those keys become cache hits for all
+	// later live traffic and would otherwise never reach the cache-fill
+	// record hook. Pointing both flags at the same file stays duplicate-free:
+	// the recorder seeds its dedup set from the file's existing entries.
+	if *tracePath != "" {
+		rec, err := serve.NewTraceRecorder(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "neusight: closing trace: %v\n", err)
+			}
+		}()
+		svc.SetTraceRecorder(rec)
+		fmt.Printf("recording workload trace to %s\n", *tracePath)
+	}
+	// Warm before listening: the first connection a client can open is
+	// already served from a cache primed with the saved workload profile.
+	if *warmupPath != "" {
+		fmt.Printf("warming caches from trace %s...\n", *warmupPath)
+		ws, err := svc.WarmFromTrace(context.Background(), *warmupPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("warmup: %d entries, %d warmed, %d corrupt lines skipped, %d failed, %.0f ms\n",
+			ws.Entries, ws.Warmed, ws.Skipped, ws.Failed, ws.DurationMs)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving engines [%s] on %s, default %s (cache %d entries/engine)\n",
-		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize)
+	layout := "unsharded"
+	if n := svc.NumShards(); n > 1 {
+		layout = fmt.Sprintf("%d shards", n)
+	}
+	fmt.Printf("serving engines [%s] on %s, default %s (cache %d entries/partition, %s)\n",
+		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize, layout)
 	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
 	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,7 +11,12 @@
 //     pass and twice more in the backward pass.
 //   - Pipeline parallel (GPipe): layers split into stages; micro-batches
 //     flow through with (m + s - 1) pipeline slots per phase and
-//     activations crossing stage boundaries via send/recv.
+//     activations crossing stage boundaries via send/recv. Alternative
+//     micro-batch schedules (1F1B) live in schedule.go.
+//
+// multinode.go extends the composition across servers (paper Table 9):
+// tensor parallelism inside each node, data parallelism across nodes,
+// and a hierarchical fat-tree all-reduce priced by internal/network.
 package distributed
 
 import (

@@ -54,6 +54,25 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
+// opsByName inverts opNames for parsing serialized kernels (workload
+// traces, API payloads) back into operators.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// OpByName returns the operator with the given canonical name (the one
+// String renders), reporting false for names no registered operator has.
+// It is the stable textual encoding for persisted kernels: traces written
+// by one build replay in another even if the Op constants are renumbered.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
 // Category groups operators by which predictor handles them.
 type Category int
 

@@ -14,11 +14,12 @@
 //     it no longer needs.
 //
 // Optional capabilities — training, persistence, whole-graph forecasting,
-// state generations for cache invalidation, native batching — are separate
-// interfaces an engine implements only when its backend supports them.
-// The Registry holds the engine set a process serves, turning "which
-// predictor answers this request" into per-request routing instead of a
-// compile-time decision.
+// state generations for cache invalidation, native batching, shard
+// affinity — are separate interfaces an engine implements only when its
+// backend supports them. The Registry holds the engine set a process
+// serves, turning "which predictor answers this request" into per-request
+// routing instead of a compile-time decision; its version counter lets
+// sharded serving layers rebalance when the set changes.
 package predict
 
 import (
@@ -120,6 +121,30 @@ type GraphPredictor interface {
 // automatically instead of serving stale forecasts.
 type Generational interface {
 	Generation() uint64
+}
+
+// ShardHint is implemented by engines that want a say in how sharded
+// serving layers partition their traffic. Engines returning the same
+// non-empty affinity key are hashed together, so engines that share
+// mutable backend state (for example several views over one trained
+// predictor) land on the same shard and contend on one lock domain
+// instead of spreading that contention across every shard.
+type ShardHint interface {
+	// ShardAffinity returns the affinity key sharded routers hash in
+	// place of the engine name. Empty means "no preference" and falls
+	// back to the engine name.
+	ShardAffinity() string
+}
+
+// ShardAffinity returns e's shard-affinity key: the ShardHint value when
+// the engine declares a non-empty one, else the engine name.
+func ShardAffinity(e Engine) string {
+	if h, ok := e.(ShardHint); ok {
+		if key := h.ShardAffinity(); key != "" {
+			return key
+		}
+	}
+	return e.Name()
 }
 
 // Batcher reports whether PredictKernels amortizes one backend evaluation

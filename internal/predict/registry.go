@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrUnknownEngine is wrapped by Get for unregistered names, so callers
@@ -17,9 +18,16 @@ var ErrUnknownEngine = errors.New("unknown engine")
 // process can route requests to. Serving picks an engine per request, the
 // CLI per flag, and the experiment harness iterates the set — all against
 // the same registration.
+//
+// The registry also carries the routing hints sharded serving layers
+// consume: a monotonically increasing Version that bumps on every
+// registration change (so routers know when their shard assignments are
+// stale and must rebalance), and the per-engine shard-affinity key
+// (see ShardHint / ShardAffinity in predict.go).
 type Registry struct {
 	mu      sync.RWMutex
 	engines map[string]Engine
+	version atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -44,8 +52,31 @@ func (r *Registry) Register(e Engine) error {
 		return fmt.Errorf("predict: engine %q already registered", name)
 	}
 	r.engines[name] = e
+	r.version.Add(1)
 	return nil
 }
+
+// Unregister removes the engine registered under name, reporting whether
+// one was registered. Traffic already routed to the engine completes; new
+// lookups fail with ErrUnknownEngine, and serving layers observing Version
+// rebalance their shard assignments and drop the engine's cached
+// forecasts.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.engines[name]; !ok {
+		return false
+	}
+	delete(r.engines, name)
+	r.version.Add(1)
+	return true
+}
+
+// Version returns a counter that increases on every Register/Unregister.
+// Routers cache it alongside derived routing state (shard assignments,
+// per-engine partitions) and rebuild when it drifts — a cheap atomic load
+// per request instead of a registry diff.
+func (r *Registry) Version() uint64 { return r.version.Load() }
 
 // MustRegister is Register that panics on error — for process start-up
 // where a collision is a programming bug.

@@ -1,0 +1,87 @@
+package predict
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+func testEngine(name string) Engine {
+	return NewFuncEngine(name, SourceAnalytical,
+		func(k kernels.Kernel, g gpu.Spec) (float64, error) { return 1, nil })
+}
+
+func TestRegistryUnregisterAndVersion(t *testing.T) {
+	reg := NewRegistry()
+	v0 := reg.Version()
+	reg.MustRegister(testEngine("a"))
+	if reg.Version() == v0 {
+		t.Error("Version must bump on Register")
+	}
+	v1 := reg.Version()
+	if !reg.Unregister("a") {
+		t.Fatal("Unregister(a) reported no engine")
+	}
+	if reg.Version() == v1 {
+		t.Error("Version must bump on Unregister")
+	}
+	if reg.Unregister("a") {
+		t.Error("second Unregister must report false")
+	}
+	if _, err := reg.Get("a"); !errors.Is(err, ErrUnknownEngine) {
+		t.Errorf("Get after Unregister = %v, want ErrUnknownEngine", err)
+	}
+	// The name is reusable after unregistration.
+	if err := reg.Register(testEngine("a")); err != nil {
+		t.Errorf("re-Register after Unregister: %v", err)
+	}
+}
+
+func TestRegistryConcurrentChurn(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(testEngine("stable"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Register(testEngine("churn"))
+				reg.Get("stable")
+				reg.Version()
+				reg.List()
+				reg.Unregister("churn")
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := reg.Get("stable"); err != nil {
+		t.Errorf("stable engine lost during churn: %v", err)
+	}
+}
+
+// affinityEngine declares a shard-affinity key distinct from its name.
+type affinityEngine struct {
+	Engine
+	key string
+}
+
+func (e affinityEngine) ShardAffinity() string { return e.key }
+
+func TestShardAffinity(t *testing.T) {
+	plain := testEngine("plain")
+	if got := ShardAffinity(plain); got != "plain" {
+		t.Errorf("ShardAffinity(plain) = %q, want the engine name", got)
+	}
+	hinted := affinityEngine{Engine: testEngine("hinted"), key: "shared-core"}
+	if got := ShardAffinity(hinted); got != "shared-core" {
+		t.Errorf("ShardAffinity(hinted) = %q, want the declared key", got)
+	}
+	empty := affinityEngine{Engine: testEngine("empty"), key: ""}
+	if got := ShardAffinity(empty); got != "empty" {
+		t.Errorf("ShardAffinity with empty hint = %q, want the engine name fallback", got)
+	}
+}

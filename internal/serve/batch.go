@@ -27,7 +27,7 @@ func (s *Service) PredictBatch(ks []kernels.Kernel, g gpu.Spec) (lats []float64,
 	outs, err := s.PredictBatchEngine(context.Background(), "", ks, g)
 	lats = make([]float64, len(ks))
 	errs = make([]error, len(ks))
-	if err != nil { // unreachable for the default engine; defensive
+	if err != nil { // unknown engine (unreachable for the default) or a saturated shard
 		for i := range errs {
 			errs[i] = err
 		}
@@ -68,17 +68,35 @@ func (s *Service) PredictBatchEngine(ctx context.Context, engine string, ks []ke
 	}
 	s.batches.Add(1)
 	s.batchedKernels.Add(uint64(len(ks)))
-	return s.predictMany(ctx, es, ks, g), nil
+	return s.predictMany(ctx, es, ks, g)
 }
 
-// predictMany implements the batched path against one engine partition
-// without touching the batch-API counters, so internal callers
-// (PredictGraphEngine) reuse the machinery while batch_requests /
-// batched_kernels keep meaning "client batch calls".
-func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels.Kernel, g gpu.Spec) []predict.Outcome {
+// predictMany implements the batched path against one engine without
+// touching the batch-API counters, so internal callers
+// (PredictGraphEngine, trace warmup) reuse the machinery while
+// batch_requests / batched_kernels keep meaning "client batch calls".
+// A batch names one engine and one GPU, so the whole batch lives on one
+// partition: one shard admission, one cache, one coalescing table. A
+// saturated shard rejects the batch as a whole — the returned error wraps
+// ErrSaturated and no per-item work runs — so callers surface
+// backpressure (HTTP 503) instead of folding rejections into per-item
+// fallbacks.
+func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels.Kernel, g gpu.Spec) ([]predict.Outcome, error) {
+	// Admission precedes all accounting — see predictOne: rejected batches
+	// must not inflate request throughput or drag the latency percentiles
+	// toward the microsecond rejection path while the service sheds load.
+	p := s.partition(es, g)
+	if !p.admit() {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("serve: shard %d over %d requests in flight for a batch of %d: %w",
+			p.shard, p.maxInFlight, len(ks), ErrSaturated)
+	}
+	defer p.release()
+
 	start := time.Now()
 	s.requests.Add(uint64(len(ks)))
 	es.requests.Add(uint64(len(ks)))
+	p.requests.Add(uint64(len(ks)))
 	s.inFlightNow.Add(1)
 	defer func() {
 		s.inFlightNow.Add(-1)
@@ -95,7 +113,8 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 		}
 		s.errors.Add(uint64(len(ks)))
 		es.errors.Add(uint64(len(ks)))
-		return outs
+		p.errors.Add(uint64(len(ks)))
+		return outs, nil
 	}
 
 	// Partition the batch: cache hits, misses we lead, and misses another
@@ -109,6 +128,7 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 		if k.Category() == kernels.CatNetwork {
 			s.errors.Add(1)
 			es.errors.Add(1)
+			p.errors.Add(1)
 			outs[i].Err = fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
 			continue
 		}
@@ -121,21 +141,24 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 			grp.dups = append(grp.dups, i)
 			continue
 		}
-		if v, ok := es.cache.Get(key); ok {
+		if v, ok := p.cache.Get(key); ok {
+			es.cacheHits.Add(1)
 			outs[i].Result = v
 			continue
 		}
-		es.mu.Lock()
-		if call, ok := es.inflight[key]; ok {
-			es.mu.Unlock()
+		es.cacheMisses.Add(1)
+		p.mu.Lock()
+		if call, ok := p.inflight[key]; ok {
+			p.mu.Unlock()
 			s.coalesced.Add(1)
 			es.coalesced.Add(1)
+			p.coalesced.Add(1)
 			waiting[key] = &batchGroup{call: call, leader: i}
 			continue
 		}
 		call := &inflightCall{done: make(chan struct{})}
-		es.inflight[key] = call
-		es.mu.Unlock()
+		p.inflight[key] = call
+		p.mu.Unlock()
 		groups[key] = &batchGroup{call: call, leader: i}
 		missKeys = append(missKeys, key)
 	}
@@ -146,21 +169,23 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 		for j, key := range missKeys {
 			uniq[j] = ks[groups[key].leader]
 		}
-		round := s.runBatchBackend(ctx, es, uniq, g)
+		round := s.runBatchBackend(ctx, es, p, uniq, g)
 		for j, key := range missKeys {
 			grp := groups[key]
 			grp.call.res, grp.call.err = round[j].Result, round[j].Err
-			es.mu.Lock()
-			delete(es.inflight, key)
-			es.mu.Unlock()
+			p.mu.Lock()
+			delete(p.inflight, key)
+			p.mu.Unlock()
 			close(grp.call.done)
 			if grp.call.err == nil {
-				es.cache.Put(key, grp.call.res)
+				p.cache.Put(key, grp.call.res)
+				s.recordTrace(es.name, ks[grp.leader], g)
 			}
 			for _, i := range append(grp.dups, grp.leader) {
 				if grp.call.err != nil {
 					s.errors.Add(1)
 					es.errors.Add(1)
+					p.errors.Add(1)
 					outs[i].Err = grp.call.err
 				} else {
 					outs[i].Result = grp.call.res
@@ -177,24 +202,25 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 			if grp.call.err != nil {
 				s.errors.Add(1)
 				es.errors.Add(1)
+				p.errors.Add(1)
 				outs[i].Err = grp.call.err
 			} else {
 				outs[i].Result = grp.call.res
 			}
 		}
 	}
-	return outs
+	return outs, nil
 }
 
 // runBatchBackend evaluates the unique misses of one batch. An engine with
 // a native batch path gets them in one PredictKernels call under a single
-// worker-pool slot (the whole point: one compiled forward pass); an engine
-// without one gets per-kernel calls fanned out across the pool, preserving
-// the concurrency a cold graph walk had before batching existed. An engine
-// panic — or a native batch returning mis-sized results — is converted into
-// per-item errors so every in-flight call is still resolved; nothing
-// wedges.
-func (s *Service) runBatchBackend(ctx context.Context, es *engineState, ks []kernels.Kernel, g gpu.Spec) (outs []predict.Outcome) {
+// slot of the partition's worker pool (the whole point: one compiled
+// forward pass); an engine without one gets per-kernel calls fanned out
+// across the pool, preserving the concurrency a cold graph walk had before
+// batching existed. An engine panic — or a native batch returning
+// mis-sized results — is converted into per-item errors so every in-flight
+// call is still resolved; nothing wedges.
+func (s *Service) runBatchBackend(ctx context.Context, es *engineState, p *partition, ks []kernels.Kernel, g gpu.Spec) (outs []predict.Outcome) {
 	if predict.NativeBatch(es.eng) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -205,8 +231,8 @@ func (s *Service) runBatchBackend(ctx context.Context, es *engineState, ks []ker
 				}
 			}
 		}()
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
 		reqs := make([]predict.Request, len(ks))
 		for i, k := range ks {
 			reqs[i] = predict.Request{Kernel: k, GPU: g}
@@ -228,7 +254,7 @@ func (s *Service) runBatchBackend(ctx context.Context, es *engineState, ks []ker
 		wg.Add(1)
 		go func(i int, k kernels.Kernel) {
 			defer wg.Done()
-			outs[i].Result, outs[i].Err = s.callEngine(ctx, es, k, g)
+			outs[i].Result, outs[i].Err = s.callEngine(ctx, es, p, k, g)
 		}(i, k)
 	}
 	wg.Wait()

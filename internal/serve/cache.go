@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"neusight/internal/predict"
@@ -71,6 +72,40 @@ func (c *lruCache) Put(key string, val predict.Result) {
 		}
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// DropPrefix removes every entry whose key starts with prefix, returning
+// how many were dropped. Shard rebalancing uses it to evict the cache
+// slice of an unregistered engine (keys are engine-name-prefixed) without
+// disturbing the entries of engines still serving.
+func (c *lruCache) DropPrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*lruEntry); strings.HasPrefix(e.key, prefix) {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// LenPrefix counts the resident entries whose key starts with prefix —
+// the per-engine slice of a shard cache shared across engines.
+func (c *lruCache) LenPrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if strings.HasPrefix(el.Value.(*lruEntry).key, prefix) {
+			n++
+		}
+	}
+	return n
 }
 
 // Flush removes every entry, preserving the hit/miss counters.

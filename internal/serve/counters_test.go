@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/predict"
+)
+
+// TestGraphTrafficExcludedFromBatchCounters pins the counter invariant the
+// batch API was shipped with: PredictGraph* routes through the same
+// batched machinery as PredictBatch*, but batch_requests/batched_kernels
+// mean "client batch calls" — graph traffic must move graph_requests and
+// the per-kernel request counters only, never the batch-API counters.
+func TestGraphTrafficExcludedFromBatchCounters(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64})
+	g := gpu.MustLookup("V100")
+	ctx := context.Background()
+
+	gr := graph.New("invariant")
+	gr.Add(kernels.NewBMM(2, 64, 64, 64))
+	gr.Add(kernels.NewLinear(8, 16, 16))
+	gr.Add(kernels.NewSoftmax(64, 64))
+
+	if _, _, err := svc.PredictGraphEngine(ctx, "", gr, g); err != nil {
+		t.Fatalf("PredictGraphEngine: %v", err)
+	}
+	st := svc.Stats()
+	if st.GraphRequests != 1 {
+		t.Errorf("graph_requests = %d, want 1", st.GraphRequests)
+	}
+	if st.BatchRequests != 0 || st.BatchedKernels != 0 {
+		t.Errorf("graph traffic leaked into batch counters: batch_requests=%d batched_kernels=%d, want 0/0",
+			st.BatchRequests, st.BatchedKernels)
+	}
+	if st.Requests != 3 {
+		t.Errorf("requests = %d, want 3 (one per graph kernel)", st.Requests)
+	}
+
+	// A client batch call moves exactly the batch counters.
+	ks := []kernels.Kernel{kernels.NewBMM(2, 64, 64, 64), kernels.NewLinear(8, 16, 16)}
+	if _, err := svc.PredictBatchEngine(ctx, "", ks, g); err != nil {
+		t.Fatalf("PredictBatchEngine: %v", err)
+	}
+	st = svc.Stats()
+	if st.BatchRequests != 1 || st.BatchedKernels != 2 {
+		t.Errorf("batch counters = %d requests / %d kernels, want 1/2", st.BatchRequests, st.BatchedKernels)
+	}
+	if st.GraphRequests != 1 {
+		t.Errorf("graph_requests moved on batch traffic: %d, want 1", st.GraphRequests)
+	}
+
+	// And warmup replay — also a predictMany internal caller — must not
+	// count as client batches either.
+	if st.Requests != 5 {
+		t.Errorf("requests = %d, want 5", st.Requests)
+	}
+}

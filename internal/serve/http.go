@@ -277,18 +277,25 @@ type EnginesResponse struct {
 }
 
 // StatsV2 is the JSON reply of GET /v2/stats: the aggregate counters plus
-// one entry per engine partition traffic has touched.
+// one entry per engine traffic has touched, one entry per shard when the
+// service is sharded, and the last cache-warmup report when one ran.
 type StatsV2 struct {
 	Stats
 	Engines []EngineStats `json:"engines"`
+	Shards  []ShardStats  `json:"shards,omitempty"`
+	Warmup  *WarmupStats  `json:"warmup,omitempty"`
 }
 
 // predictErrorCode classifies a Predict*Engine error for HTTP: naming an
 // unregistered engine is a client error (400, the message lists the
-// registered set); anything else is an unpredictable request (422).
+// registered set); a saturated shard is backpressure (503 — retry after
+// backing off); anything else is an unpredictable request (422).
 func predictErrorCode(err error) int {
 	if errors.Is(err, predict.ErrUnknownEngine) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, ErrSaturated) {
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
 }
@@ -456,11 +463,12 @@ func handleGraph(s *Service, v2 bool) http.HandlerFunc {
 			gr = graph.Fuse(gr)
 		}
 		lat, rep, gerr := s.PredictGraphEngine(r.Context(), req.Engine, gr, g)
-		// An unknown engine or a cancellation abort is a failed forecast,
-		// not a degraded one: the fold never ran (or stopped), so the total
-		// must not be served as an answer. Fallback aggregation errors fall
-		// through and surface as the v2 warning instead.
-		if gerr != nil && (errors.Is(gerr, predict.ErrUnknownEngine) ||
+		// An unknown engine, a saturated shard, or a cancellation abort is
+		// a failed forecast, not a degraded one: the fold never ran (or
+		// stopped), so the total must not be served as an answer. Fallback
+		// aggregation errors fall through and surface as the v2 warning
+		// instead.
+		if gerr != nil && (errors.Is(gerr, predict.ErrUnknownEngine) || errors.Is(gerr, ErrSaturated) ||
 			errors.Is(gerr, context.Canceled) || errors.Is(gerr, context.DeadlineExceeded)) {
 			writeError(w, predictErrorCode(gerr), gerr.Error())
 			return
@@ -530,7 +538,7 @@ func handleEngines(s *Service) http.HandlerFunc {
 //	POST /v2/predict/batch   — many kernels, one batched forecast (BatchRequestV2)
 //	POST /v2/predict/graph   — end-to-end workload forecast (GraphRequestV2)
 //	GET  /v2/engines         — the registered engine set and default
-//	GET  /v2/stats           — aggregate plus per-engine counters
+//	GET  /v2/stats           — aggregate, per-engine, per-shard, and warmup counters
 //	POST /v1/predict/kernel|batch|graph — v1-shaped aliases, default engine
 //	GET  /v1/healthz         — liveness probe (also /v2/healthz)
 //	GET  /v1/stats           — aggregate counters only
@@ -545,7 +553,12 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v2/predict/graph", handleGraph(s, true))
 	mux.HandleFunc("/v2/engines", handleEngines(s))
 	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, StatsV2{Stats: s.Stats(), Engines: s.EngineStats()})
+		writeJSON(w, http.StatusOK, StatsV2{
+			Stats:   s.Stats(),
+			Engines: s.EngineStats(),
+			Shards:  s.Shards(),
+			Warmup:  s.Warmup(),
+		})
 	})
 	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "backend": s.Backend()})

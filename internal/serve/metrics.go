@@ -34,6 +34,8 @@ func metricsFor(st Stats) []promMetric {
 		{"neusight_cache_misses_total", "Prediction cache misses.", "counter", float64(st.CacheMisses)},
 		{"neusight_coalesced_total", "Requests coalesced onto an identical in-flight prediction.", "counter", float64(st.Coalesced)},
 		{"neusight_errors_total", "Predictions that returned an error.", "counter", float64(st.Errors)},
+		{"neusight_rejected_total", "Requests rejected by shard saturation backpressure.", "counter", float64(st.Rejected)},
+		{"neusight_shards", "Shard count the service routes across (1 = unsharded).", "gauge", float64(st.Shards)},
 		{"neusight_cache_entries", "Prediction cache entries currently resident.", "gauge", float64(st.CacheLen)},
 		{"neusight_inflight_requests", "Prediction requests currently being served.", "gauge", float64(st.InFlight)},
 		{"neusight_batch_size_avg", "Mean kernels per batched prediction call.", "gauge", avgBatch},
@@ -103,13 +105,86 @@ func WriteEngineMetrics(w io.Writer, engines []EngineStats) error {
 	return nil
 }
 
+// shardFamily is one shard-labeled metric family.
+type shardFamily struct {
+	name  string
+	help  string
+	typ   string
+	value func(ShardStats) float64
+}
+
+var shardFamilies = []shardFamily{
+	{"neusight_shard_requests_total", "Kernel predictions served, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Requests) }},
+	{"neusight_shard_errors_total", "Predictions that returned an error, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Errors) }},
+	{"neusight_shard_coalesced_total", "Requests coalesced onto an identical in-flight prediction, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Coalesced) }},
+	{"neusight_shard_rejected_total", "Requests rejected by saturation backpressure, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Rejected) }},
+	{"neusight_shard_cache_hits_total", "Prediction cache hits, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.CacheHits) }},
+	{"neusight_shard_cache_misses_total", "Prediction cache misses, by shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.CacheMisses) }},
+	{"neusight_shard_cache_entries", "Prediction cache entries currently resident, by shard.", "gauge",
+		func(sh ShardStats) float64 { return float64(sh.CacheLen) }},
+	{"neusight_shard_keys", "(engine, GPU) routing keys assigned so far, by shard.", "gauge",
+		func(sh ShardStats) float64 { return float64(sh.Keys) }},
+	{"neusight_shard_inflight_requests", "Requests currently in flight, by shard.", "gauge",
+		func(sh ShardStats) float64 { return float64(sh.InFlight) }},
+}
+
+// WriteShardMetrics renders per-shard labeled series, one family per
+// block with one labeled sample per shard. An unsharded service exports
+// none.
+func WriteShardMetrics(w io.Writer, shards []ShardStats) error {
+	for _, f := range shardFamilies {
+		if len(shards) == 0 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, sh := range shards {
+			if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %v\n", f.name, sh.Shard, f.value(sh)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteWarmupMetrics renders the last trace-replay report as gauges; a
+// process that never warmed up exports none.
+func WriteWarmupMetrics(w io.Writer, ws *WarmupStats) error {
+	if ws == nil {
+		return nil
+	}
+	for _, m := range []promMetric{
+		{"neusight_warmup_entries", "Trace entries parsed by the last cache warmup.", "gauge", float64(ws.Entries)},
+		{"neusight_warmup_warmed", "Forecasts primed into the caches by the last warmup.", "gauge", float64(ws.Warmed)},
+		{"neusight_warmup_skipped", "Corrupt trace lines skipped by the last warmup.", "gauge", float64(ws.Skipped)},
+		{"neusight_warmup_failed", "Trace entries the last warmup could not prime.", "gauge", float64(ws.Failed)},
+		{"neusight_warmup_duration_ms", "Wall-clock duration of the last warmup (ms).", "gauge", ws.DurationMs},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // metricsHandler serves the service counters as a Prometheus scrape target:
-// the aggregate families first, then the engine-labeled families.
+// the aggregate families first, then the engine-, shard-, and
+// warmup-labeled families.
 func metricsHandler(s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
 		w.WriteHeader(http.StatusOK)
 		WriteMetrics(w, s.Stats())
 		WriteEngineMetrics(w, s.EngineStats())
+		WriteShardMetrics(w, s.Shards())
+		WriteWarmupMetrics(w, s.Warmup())
 	}
 }

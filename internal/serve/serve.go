@@ -14,6 +14,21 @@
 // every registered engine gets its own cache partition, in-flight table,
 // and counters, so a cheap roofline bound and the learned NeuSight pipeline
 // are a per-request routing decision, not separate deployments.
+//
+// Two subsystems scale that machinery to production traffic:
+//
+//   - Sharding (shard.go): with Config.Shards > 1, traffic is partitioned
+//     by (engine, GPU) key onto N dedicated shards via consistent hashing.
+//     Each shard owns its cache, coalescing table, and worker pool, so
+//     concurrent clients hitting different (engine, GPU) pairs stop
+//     contending on one lock; saturated shards push back with ErrSaturated
+//     instead of queueing without bound, and engine registration changes
+//     trigger a rebalance that evicts orphaned cache slices.
+//   - Workload traces (trace.go): the keys the service actually serves can
+//     be recorded to an append-only JSONL trace, and a saved trace replayed
+//     at startup to warm the caches concurrently before the listener
+//     accepts traffic — a restart no longer discards the workload profile
+//     the previous process spent its uptime learning.
 package serve
 
 import (
@@ -52,15 +67,33 @@ type BatchKernelPredictor interface {
 
 // Config sizes the service.
 type Config struct {
-	// CacheSize is the LRU capacity in entries of each engine's cache
-	// partition. Zero means DefaultCacheSize; negative disables caching.
+	// CacheSize is the LRU capacity in entries of each cache partition
+	// (per engine when unsharded, per shard when Shards > 1). Zero means
+	// DefaultCacheSize; negative disables caching.
 	CacheSize int
 	// Workers bounds how many predictions run concurrently in the backends
-	// (shared across engines). Zero means GOMAXPROCS.
+	// (shared across engines). Zero means GOMAXPROCS. When Shards > 1 it
+	// is the total budget split evenly across the shard pools (see
+	// ShardWorkers) — but every shard pool gets at least one slot, so the
+	// effective aggregate bound is max(Workers, Shards): dedicated pools
+	// cannot share a budget below one slot each.
 	Workers int
 	// LatencyWindow is the request-latency ring size for percentile stats.
 	// Zero means a reasonable default.
 	LatencyWindow int
+	// Shards partitions traffic by (engine, GPU) key onto this many
+	// dedicated shards — each with its own cache, coalescing table, and
+	// worker pool — assigned by consistent hashing. Zero or one keeps the
+	// single-lock-domain-per-engine layout.
+	Shards int
+	// ShardWorkers sizes each shard's worker pool. Zero derives it from
+	// Workers/Shards (minimum 1). Ignored when Shards <= 1.
+	ShardWorkers int
+	// ShardQueue bounds how many requests may be in flight on one shard
+	// before arrivals are rejected with ErrSaturated. Zero means
+	// DefaultShardQueue; negative disables backpressure. Ignored when
+	// Shards <= 1.
+	ShardQueue int
 }
 
 // DefaultCacheSize holds the working set of several large transformer
@@ -86,9 +119,20 @@ type Service struct {
 	reg       *predict.Registry
 	def       string
 	cacheSize int
-	sem       chan struct{}
+	sem       chan struct{} // legacy shared worker pool (Shards <= 1)
+	router    *shardRouter  // non-nil when sharded
 	lat       *latencyWindow
 	start     time.Time
+
+	// regVersion is the registry version the routing state was built
+	// against; drift triggers Rebalance (see shard.go). epoch numbers the
+	// engine states ever created, namespacing each one's cache entries.
+	regVersion atomic.Uint64
+	epoch      atomic.Uint64
+	// recorder, when set, appends every newly served key to a workload
+	// trace; warmup holds the report of the last trace replay (trace.go).
+	recorder atomic.Pointer[TraceRecorder]
+	warmup   atomic.Pointer[WarmupStats]
 
 	emu     sync.RWMutex
 	engines map[string]*engineState
@@ -99,28 +143,47 @@ type Service struct {
 	graphs         atomic.Uint64
 	batches        atomic.Uint64
 	batchedKernels atomic.Uint64
+	rejected       atomic.Uint64
 	inFlightNow    atomic.Int64
+
+	// retiredHits/retiredMisses preserve the cache counter history of
+	// per-engine partitions discarded by Rebalance (unsharded layout), so
+	// the aggregate hit/miss counters — exported to Prometheus as
+	// monotonic counters — never go backwards when an engine unregisters.
+	retiredHits   atomic.Uint64
+	retiredMisses atomic.Uint64
 }
 
-// engineState is one engine's serving partition: its cache shard, its
-// in-flight table (single and batch paths share it, so they coalesce with
-// each other), and its slice of the counters.
+// engineState is one engine's routing entry and its slice of the
+// counters. Where its traffic's cache, coalescing table, and worker pool
+// live depends on the layout: unsharded, the engine owns one partition
+// (part); sharded, the router assigns each of the engine's (engine, GPU)
+// keys to a shard and part is nil.
 type engineState struct {
-	name  string
-	eng   predict.Engine
-	cache *lruCache
+	name     string
+	eng      predict.Engine
+	affinity string // ShardAffinity, resolved once at registration
+	// prefix namespaces this state's cache entries: the engine name plus a
+	// per-state epoch. The epoch makes a replaced engine (unregister +
+	// re-register under the same name) a distinct key space, so a backend
+	// evaluation in flight across a rebalance caches under the old state's
+	// prefix and can never be served by the replacement — even for engines
+	// that track no generation.
+	prefix string
+	part   *partition // legacy per-engine partition; nil when sharded
 
-	mu       sync.Mutex
-	inflight map[string]*inflightCall
-
-	requests  atomic.Uint64
-	errors    atomic.Uint64
-	coalesced atomic.Uint64
+	requests    atomic.Uint64
+	errors      atomic.Uint64
+	coalesced   atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // key fingerprints a prediction request with the same fingerprint the
 // predictor's tile cache and the tile DB memo use, prefixed with the
-// engine's state generation when it tracks one — so a retrain makes every
+// engine state's prefix (shard caches are shared across engines, so the
+// engine — and its registration epoch — is part of request identity) and
+// its state generation when it tracks one — so a retrain makes every
 // prior entry unreachable (it then ages out of the LRU) instead of being
 // served stale.
 func (es *engineState) key(k kernels.Kernel, g gpu.Spec) string {
@@ -128,7 +191,30 @@ func (es *engineState) key(k kernels.Kernel, g gpu.Spec) string {
 	if gen, ok := es.eng.(predict.Generational); ok {
 		key = "g" + strconv.FormatUint(gen.Generation(), 10) + "|" + key
 	}
-	return key
+	return es.prefix + key
+}
+
+// partition resolves the serving partition for one (engine, GPU) request:
+// the engine's own partition when unsharded, else the consistent-hash
+// shard owning the (affinity, GPU) key.
+func (s *Service) partition(es *engineState, g gpu.Spec) *partition {
+	if s.router == nil {
+		return es.part
+	}
+	return s.router.shardFor(es.affinity, g.Name)
+}
+
+// partitions returns every partition currently provisioned: the shard set
+// when sharded, else the per-engine partitions created so far.
+func (s *Service) partitions() []*partition {
+	if s.router != nil {
+		return s.router.shards
+	}
+	out := make([]*partition, 0)
+	for _, es := range s.states() {
+		out = append(out, es.part)
+	}
+	return out
 }
 
 // inflightCall is one in-progress backend prediction that later arrivals
@@ -169,7 +255,7 @@ func NewMulti(reg *predict.Registry, defaultEngine string, cfg Config) *Service 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Service{
+	s := &Service{
 		reg:       reg,
 		def:       defaultEngine,
 		cacheSize: size,
@@ -178,6 +264,25 @@ func NewMulti(reg *predict.Registry, defaultEngine string, cfg Config) *Service 
 		start:     time.Now(),
 		engines:   map[string]*engineState{},
 	}
+	if cfg.Shards > 1 {
+		perShard := cfg.ShardWorkers
+		if perShard <= 0 {
+			perShard = workers / cfg.Shards
+			if perShard < 1 {
+				perShard = 1
+			}
+		}
+		queue := cfg.ShardQueue
+		switch {
+		case queue == 0:
+			queue = DefaultShardQueue
+		case queue < 0:
+			queue = 0 // backpressure disabled
+		}
+		s.router = newShardRouter(cfg.Shards, size, perShard, queue)
+	}
+	s.regVersion.Store(reg.Version())
+	return s
 }
 
 // Registry returns the engine registry the service routes across.
@@ -191,9 +296,11 @@ func (s *Service) DefaultEngine() string { return s.def }
 func (s *Service) Backend() string { return s.def }
 
 // engine resolves name ("" means the default) to its serving state,
-// creating the partition on first use so engines registered after the
-// service started are routable.
+// creating the state on first use so engines registered after the service
+// started are routable, and rebalancing first when the registry changed
+// since the routing state was built.
 func (s *Service) engine(name string) (*engineState, error) {
+	s.maybeRebalance()
 	if name == "" {
 		name = s.def
 	}
@@ -203,8 +310,7 @@ func (s *Service) engine(name string) (*engineState, error) {
 	if ok {
 		return es, nil
 	}
-	eng, err := s.reg.Get(name)
-	if err != nil {
+	if _, err := s.reg.Get(name); err != nil {
 		return nil, err
 	}
 	s.emu.Lock()
@@ -212,11 +318,23 @@ func (s *Service) engine(name string) (*engineState, error) {
 	if es, ok := s.engines[name]; ok {
 		return es, nil
 	}
+	// Re-resolve under the state lock: Rebalance scans s.engines under the
+	// same lock, so an engine unregistered between the lock-free Get above
+	// and this insert is either caught here (Get fails) or inserted before
+	// the version-drift rebalance that will drop it — it can never be
+	// inserted after that rebalance already ran and stay routable forever.
+	eng, err := s.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
 	es = &engineState{
 		name:     name,
 		eng:      eng,
-		cache:    newLRUCache(s.cacheSize),
-		inflight: map[string]*inflightCall{},
+		affinity: predict.ShardAffinity(eng),
+		prefix:   name + "#" + strconv.FormatUint(s.epoch.Add(1), 10) + "|",
+	}
+	if s.router == nil {
+		es.part = newPartition(-1, s.cacheSize, s.sem, 0)
 	}
 	s.engines[name] = es
 	return es, nil
@@ -234,13 +352,12 @@ func (s *Service) states() []*engineState {
 	return out
 }
 
-// FlushCache drops every cached prediction in every engine partition
-// (hit/miss counters are kept). Generation-keyed engines invalidate
-// automatically on retrain; the flush remains for backends that track no
-// generation.
+// FlushCache drops every cached prediction in every partition (hit/miss
+// counters are kept). Generation-keyed engines invalidate automatically on
+// retrain; the flush remains for backends that track no generation.
 func (s *Service) FlushCache() {
-	for _, es := range s.states() {
-		es.cache.Flush()
+	for _, p := range s.partitions() {
+		p.cache.Flush()
 	}
 }
 
@@ -264,12 +381,27 @@ func (s *Service) PredictKernelEngine(ctx context.Context, engine string, k kern
 	return s.predictOne(ctx, es, k, g)
 }
 
-// predictOne is the single-kernel serving path against one engine
-// partition: cache, coalesce, then evaluate under the worker pool.
+// predictOne is the single-kernel serving path against one engine's
+// partition: admit past backpressure, then cache, coalesce, and evaluate
+// under the partition's worker pool.
 func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Kernel, g gpu.Spec) (predict.Result, error) {
+	// Admission runs before any accounting: a rejection returns in
+	// microseconds, and letting it into the request counters and the
+	// latency window would make an overloaded service look fast and busy
+	// on dashboards at exactly the moment it is shedding load. Rejections
+	// count only in rejected (aggregate and per-shard).
+	p := s.partition(es, g)
+	if !p.admit() {
+		s.rejected.Add(1)
+		return predict.Result{}, fmt.Errorf("serve: shard %d over %d requests in flight predicting %s: %w",
+			p.shard, p.maxInFlight, k.Label(), ErrSaturated)
+	}
+	defer p.release()
+
 	start := time.Now()
 	s.requests.Add(1)
 	es.requests.Add(1)
+	p.requests.Add(1)
 	s.inFlightNow.Add(1)
 	defer func() {
 		s.inFlightNow.Add(-1)
@@ -279,6 +411,7 @@ func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Ker
 	if k.Category() == kernels.CatNetwork {
 		s.errors.Add(1)
 		es.errors.Add(1)
+		p.errors.Add(1)
 		return predict.Result{}, fmt.Errorf("serve: network kernel %s is priced by the distributed layer, not the kernel predictor", k.Label())
 	}
 
@@ -287,38 +420,45 @@ func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Ker
 	if err := ctx.Err(); err != nil {
 		s.errors.Add(1)
 		es.errors.Add(1)
+		p.errors.Add(1)
 		return predict.Result{}, err
 	}
 
 	key := es.key(k, g)
-	if v, ok := es.cache.Get(key); ok {
+	if v, ok := p.cache.Get(key); ok {
+		es.cacheHits.Add(1)
 		return v, nil
 	}
+	es.cacheMisses.Add(1)
 
-	es.mu.Lock()
-	if call, ok := es.inflight[key]; ok {
-		es.mu.Unlock()
+	p.mu.Lock()
+	if call, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
 		s.coalesced.Add(1)
 		es.coalesced.Add(1)
+		p.coalesced.Add(1)
 		<-call.done
 		if call.err != nil {
 			s.errors.Add(1)
 			es.errors.Add(1)
+			p.errors.Add(1)
 		}
 		return call.res, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
-	es.inflight[key] = call
-	es.mu.Unlock()
+	p.inflight[key] = call
+	p.mu.Unlock()
 
-	s.runBackend(ctx, es, call, key, k, g)
+	s.runBackend(ctx, es, p, call, key, k, g)
 
 	if call.err != nil {
 		s.errors.Add(1)
 		es.errors.Add(1)
+		p.errors.Add(1)
 		return predict.Result{}, call.err
 	}
-	es.cache.Put(key, call.res)
+	p.cache.Put(key, call.res)
+	s.recordTrace(es.name, k, g)
 	return call.res, nil
 }
 
@@ -327,35 +467,35 @@ func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Ker
 // panics (callEngine converts the panic to an error), so both the leader
 // and every coalesced waiter fail cleanly instead of wedging the key
 // forever.
-func (s *Service) runBackend(ctx context.Context, es *engineState, call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
+func (s *Service) runBackend(ctx context.Context, es *engineState, p *partition, call *inflightCall, key string, k kernels.Kernel, g gpu.Spec) {
 	defer func() {
-		es.mu.Lock()
-		delete(es.inflight, key)
-		es.mu.Unlock()
+		p.mu.Lock()
+		delete(p.inflight, key)
+		p.mu.Unlock()
 		close(call.done)
 	}()
-	call.res, call.err = s.callEngine(ctx, es, k, g)
+	call.res, call.err = s.callEngine(ctx, es, p, k, g)
 }
 
-// callEngine runs one per-kernel engine prediction under a worker-pool
-// slot, converting an engine panic into an error with the slot released.
-// It is the shared primitive of the single-kernel path and the batch
-// fan-out for engines without native batch support.
+// callEngine runs one per-kernel engine prediction under a slot of the
+// partition's worker pool, converting an engine panic into an error with
+// the slot released. It is the shared primitive of the single-kernel path
+// and the batch fan-out for engines without native batch support.
 //
 // The evaluation runs detached from the caller's cancellation: in-flight
 // calls are shared by coalescing, so cancelling the leader's request must
 // not poison the result every coalesced waiter receives (the classic
 // singleflight-with-context bug). Cancelled callers fail fast before
 // leading or joining an evaluation instead.
-func (s *Service) callEngine(ctx context.Context, es *engineState, k kernels.Kernel, g gpu.Spec) (res predict.Result, err error) {
+func (s *Service) callEngine(ctx context.Context, es *engineState, p *partition, k kernels.Kernel, g gpu.Spec) (res predict.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = predict.Result{}
 			err = fmt.Errorf("serve: backend panic predicting %s: %v", k.Label(), r)
 		}
 	}()
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
 	return es.eng.PredictKernel(context.WithoutCancel(ctx), predict.Request{Kernel: k, GPU: g})
 }
 
@@ -390,7 +530,14 @@ func (s *Service) PredictGraphEngine(ctx context.Context, engine string, gr *gra
 		}
 		ks = append(ks, n.Kernel)
 	}
-	total, err := predict.FoldOutcomes(s.predictMany(ctx, es, ks, g), ks, g, &rep)
+	outs, err := s.predictMany(ctx, es, ks, g)
+	if err != nil {
+		// Whole-batch rejection (saturated shard): the forecast never ran,
+		// so there is no total to fold — callers surface backpressure
+		// instead of serving a fallback-assembled number.
+		return 0, rep, err
+	}
+	total, err := predict.FoldOutcomes(outs, ks, g, &rep)
 	return total, rep, err
 }
 
@@ -409,6 +556,8 @@ type Stats struct {
 	HitRate        float64 `json:"hit_rate"`
 	Coalesced      uint64  `json:"coalesced"`
 	Errors         uint64  `json:"errors"`
+	Rejected       uint64  `json:"rejected"`
+	Shards         int     `json:"shard_count"` // "shards" is the per-shard section on /v2/stats
 	InFlight       int64   `json:"in_flight"`
 	LatencyP50ms   float64 `json:"latency_p50_ms"`
 	LatencyP90ms   float64 `json:"latency_p90_ms"`
@@ -431,17 +580,37 @@ type EngineStats struct {
 	Generation  uint64  `json:"generation"`
 }
 
+// cacheTotals sums cache counters across live partitions plus the retired
+// history, under the same lock Rebalance folds and removes under — a
+// concurrent rebalance can therefore never be observed half-applied
+// (partition gone but its history not yet retired, or counted twice),
+// which keeps the Prometheus-exported aggregate counters monotonic.
+func (s *Service) cacheTotals() (hits, misses uint64, length int) {
+	s.emu.RLock()
+	defer s.emu.RUnlock()
+	hits, misses = s.retiredHits.Load(), s.retiredMisses.Load()
+	if s.router != nil {
+		for _, p := range s.router.shards {
+			h, m := p.cache.Counters()
+			hits += h
+			misses += m
+			length += p.cache.Len()
+		}
+		return hits, misses, length
+	}
+	for _, es := range s.engines {
+		h, m := es.part.cache.Counters()
+		hits += h
+		misses += m
+		length += es.part.cache.Len()
+	}
+	return hits, misses, length
+}
+
 // Stats returns the current aggregate counters. HitRate is
 // hits/(hits+misses), 0 before any traffic.
 func (s *Service) Stats() Stats {
-	var hits, misses uint64
-	var length int
-	for _, es := range s.states() {
-		h, m := es.cache.Counters()
-		hits += h
-		misses += m
-		length += es.cache.Len()
-	}
+	hits, misses, length := s.cacheTotals()
 	ps := s.lat.Percentiles(0.50, 0.90, 0.99)
 	st := Stats{
 		Backend:        s.def,
@@ -454,6 +623,8 @@ func (s *Service) Stats() Stats {
 		CacheLen:       length,
 		Coalesced:      s.coalesced.Load(),
 		Errors:         s.errors.Load(),
+		Rejected:       s.rejected.Load(),
+		Shards:         s.NumShards(),
 		InFlight:       s.inFlightNow.Load(),
 		LatencyP50ms:   ps[0],
 		LatencyP90ms:   ps[1],
@@ -466,12 +637,29 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// EngineStats returns per-engine counters for every partition traffic has
+// engineCacheLen counts the cache entries the engine currently owns: its
+// partition's full population when unsharded, else its keys' slice of
+// every shard cache. The sharded case is an O(entries) scan under each
+// shard's cache lock — acceptable because it runs only on stats/metrics
+// reads against bounded caches; if scrape frequency ever makes it hurt,
+// replace with per-engine resident counters maintained on Put/evict.
+func (s *Service) engineCacheLen(es *engineState) int {
+	if s.router == nil {
+		return es.part.cache.Len()
+	}
+	n := 0
+	for _, p := range s.router.shards {
+		n += p.cache.LenPrefix(es.prefix)
+	}
+	return n
+}
+
+// EngineStats returns per-engine counters for every engine traffic has
 // touched, sorted by engine name.
 func (s *Service) EngineStats() []EngineStats {
 	var out []EngineStats
 	for _, es := range s.states() {
-		hits, misses := es.cache.Counters()
+		hits, misses := es.cacheHits.Load(), es.cacheMisses.Load()
 		st := EngineStats{
 			Engine:      es.name,
 			Requests:    es.requests.Load(),
@@ -479,7 +667,7 @@ func (s *Service) EngineStats() []EngineStats {
 			Coalesced:   es.coalesced.Load(),
 			CacheHits:   hits,
 			CacheMisses: misses,
-			CacheLen:    es.cache.Len(),
+			CacheLen:    s.engineCacheLen(es),
 			NativeBatch: predict.NativeBatch(es.eng),
 			Generation:  predict.Generation(es.eng),
 		}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is wrapped by prediction calls rejected by per-shard
+// backpressure: the target shard already has its maximum number of
+// requests in flight, so the request is refused immediately instead of
+// queueing without bound. HTTP maps it to 503; clients should back off
+// and retry.
+var ErrSaturated = errors.New("serve: shard saturated")
+
+// DefaultShardQueue bounds how many requests may be in flight on one
+// shard (executing plus waiting on its worker pool or coalesced calls)
+// before further arrivals are rejected with ErrSaturated. Large enough
+// that only genuine overload trips it, small enough that overload is
+// reported as backpressure rather than unbounded memory growth.
+const DefaultShardQueue = 1024
+
+// partition is one serving lock domain: the unit that owns a cache, an
+// in-flight coalescing table, and a worker-pool semaphore. The service
+// always speaks to exactly one partition per request; what varies is how
+// partitions are provisioned:
+//
+//   - legacy (Config.Shards <= 1): one partition per engine, all sharing
+//     the service-wide worker pool — the pre-sharding behavior;
+//   - sharded: Config.Shards dedicated partitions, each with its own
+//     pool, serving (engine, GPU) keys assigned by consistent hashing.
+type partition struct {
+	shard int // shard index; -1 for a legacy per-engine partition
+	cache *lruCache
+	sem   chan struct{}
+	// maxInFlight is the saturation bound; 0 disables backpressure.
+	maxInFlight int
+
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	coalesced atomic.Uint64
+	rejected  atomic.Uint64
+	inFlight  atomic.Int64
+}
+
+// newPartition returns a partition with its own cache, sharing sem as its
+// worker pool.
+func newPartition(shard, cacheSize int, sem chan struct{}, maxInFlight int) *partition {
+	return &partition{
+		shard:       shard,
+		cache:       newLRUCache(cacheSize),
+		sem:         sem,
+		maxInFlight: maxInFlight,
+		inflight:    map[string]*inflightCall{},
+	}
+}
+
+// admit applies the shard's saturation bound, reserving an in-flight slot
+// on success. Callers must release() the slot when the request completes.
+// A partition without a bound always admits. The bound is exact under
+// concurrency: the slot is taken first and handed back on rejection, so
+// racing arrivals cannot all pass a stale load.
+func (p *partition) admit() bool {
+	n := p.inFlight.Add(1)
+	if p.maxInFlight > 0 && n > int64(p.maxInFlight) {
+		p.inFlight.Add(-1)
+		p.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+// release returns an in-flight slot reserved by admit.
+func (p *partition) release() { p.inFlight.Add(-1) }
+
+// ringReplicas is how many virtual points each shard contributes to the
+// consistent-hash ring. More replicas smooth the key distribution across
+// shards at the cost of a larger (still tiny) ring.
+const ringReplicas = 64
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash uint64
+	p    *partition
+}
+
+// shardRouter assigns (affinity, GPU) keys to a fixed set of shards by
+// consistent hashing: every key hashes onto a ring of virtual shard
+// points, and the first point at or clockwise of the key's hash owns it.
+// Assignments are memoized per key; the memo doubles as the "which keys
+// live where" table behind per-shard stats, and is rebuilt on rebalance so
+// keys of unregistered engines drop out.
+type shardRouter struct {
+	shards []*partition
+	points []ringPoint // sorted by hash
+
+	// assign memoizes ring lookups as an immutable copy-on-write snapshot,
+	// two-level (affinity, then GPU): the hot path is two map reads off an
+	// atomic load — no lock, no composite-key allocation. wmu serializes
+	// the (rare) snapshot writers: one per novel key per rebalance epoch.
+	// epoch bumps on invalidate; a lookup that started before an
+	// invalidate must not publish its (possibly unregistered) key into the
+	// fresh memo, so writers re-check the epoch under wmu.
+	assign atomic.Pointer[map[string]map[string]*partition]
+	wmu    sync.Mutex
+	epoch  atomic.Uint64
+}
+
+// newShardRouter builds n shards, each with cacheSize cache entries, a
+// workers-slot pool, and a maxInFlight saturation bound (0 disables
+// backpressure).
+func newShardRouter(n, cacheSize, workers, maxInFlight int) *shardRouter {
+	r := &shardRouter{
+		shards: make([]*partition, n),
+		points: make([]ringPoint, 0, n*ringReplicas),
+	}
+	empty := map[string]map[string]*partition{}
+	r.assign.Store(&empty)
+	for i := 0; i < n; i++ {
+		r.shards[i] = newPartition(i, cacheSize, make(chan struct{}, workers), maxInFlight)
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d-%d", i, v)), p: r.shards[i]})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// hash64 is the ring hash (FNV-1a: fast, dependency-free, well mixed for
+// short routing keys).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// shardFor resolves the shard owning the (affinity, GPU) key, memoizing
+// the ring lookup.
+func (r *shardRouter) shardFor(affinity, gpuName string) *partition {
+	epoch := r.epoch.Load()
+	if p := (*r.assign.Load())[affinity][gpuName]; p != nil {
+		return p
+	}
+	h := hash64(affinity + "|" + gpuName)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	p := r.points[i].p
+
+	// Publish a new snapshot with the assignment added — unless an
+	// invalidate ran since this lookup started, in which case the key may
+	// belong to an engine that just unregistered: route the request (p is
+	// still correct by the ring) but leave the fresh memo clean. The clone
+	// is a handful of engines x GPUs and runs once per novel key per epoch.
+	r.wmu.Lock()
+	if r.epoch.Load() == epoch {
+		cur := *r.assign.Load()
+		next := make(map[string]map[string]*partition, len(cur)+1)
+		for aff, byGPU := range cur {
+			next[aff] = byGPU
+		}
+		byGPU := make(map[string]*partition, len(cur[affinity])+1)
+		for g, sp := range cur[affinity] {
+			byGPU[g] = sp
+		}
+		byGPU[gpuName] = p
+		next[affinity] = byGPU
+		r.assign.Store(&next)
+	}
+	r.wmu.Unlock()
+	return p
+}
+
+// invalidate drops the assignment memo. Ring lookups are deterministic,
+// so routing is unchanged; what the rebuild achieves is forgetting keys
+// of engines that unregistered, so stats and key counts stay honest.
+func (r *shardRouter) invalidate() {
+	r.wmu.Lock()
+	r.epoch.Add(1)
+	empty := map[string]map[string]*partition{}
+	r.assign.Store(&empty)
+	r.wmu.Unlock()
+}
+
+// keyCounts returns how many memoized (engine, GPU) keys each shard
+// currently owns, indexed by shard id.
+func (r *shardRouter) keyCounts() []int {
+	counts := make([]int, len(r.shards))
+	for _, byGPU := range *r.assign.Load() {
+		for _, p := range byGPU {
+			counts[p.shard]++
+		}
+	}
+	return counts
+}
+
+// ShardStats is one shard's slice of the counters, exposed in the
+// "shards" section of /v2/stats and as shard-labeled Prometheus series.
+type ShardStats struct {
+	Shard       int     `json:"shard"`
+	Keys        int     `json:"keys"` // (engine, GPU) keys routed here so far
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	Coalesced   uint64  `json:"coalesced"`
+	Rejected    uint64  `json:"rejected"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	CacheLen    int     `json:"cache_len"`
+	HitRate     float64 `json:"hit_rate"`
+	InFlight    int64   `json:"in_flight"`
+}
+
+// Shards returns per-shard counters, one entry per shard in id order, or
+// nil when the service runs unsharded.
+func (s *Service) Shards() []ShardStats {
+	if s.router == nil {
+		return nil
+	}
+	keys := s.router.keyCounts()
+	out := make([]ShardStats, len(s.router.shards))
+	for i, p := range s.router.shards {
+		hits, misses := p.cache.Counters()
+		st := ShardStats{
+			Shard:       p.shard,
+			Keys:        keys[i],
+			Requests:    p.requests.Load(),
+			Errors:      p.errors.Load(),
+			Coalesced:   p.coalesced.Load(),
+			Rejected:    p.rejected.Load(),
+			CacheHits:   hits,
+			CacheMisses: misses,
+			CacheLen:    p.cache.Len(),
+			InFlight:    p.inFlight.Load(),
+		}
+		if total := hits + misses; total > 0 {
+			st.HitRate = float64(hits) / float64(total)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// NumShards returns how many shards the service routes across (1 when
+// unsharded: the legacy per-engine layout is a single lock domain per
+// engine, not a shard set).
+func (s *Service) NumShards() int {
+	if s.router == nil {
+		return 1
+	}
+	return len(s.router.shards)
+}
+
+// Rebalance reconciles the service's routing state with the current
+// registry: partitions of engines that unregistered (or were replaced by
+// a new instance under the same name) are dropped, their cached forecasts
+// evicted from every shard, and the shard assignment memo rebuilt. It
+// runs automatically when the registry version drifts from the one the
+// service last observed — explicit calls are only needed by callers that
+// want eviction to happen eagerly rather than on the next request.
+func (s *Service) Rebalance() {
+	// Record the version first: a registration racing this rebalance
+	// bumps the version after our read and triggers another pass, rather
+	// than being masked by a later read.
+	v := s.reg.Version()
+	s.regVersion.Store(v)
+
+	var stale []*engineState
+	s.emu.Lock()
+	for name, es := range s.engines {
+		cur, err := s.reg.Get(name)
+		if err != nil || cur != es.eng {
+			// Unsharded: the stale engine owns its partition outright — the
+			// whole cache is reclaimed with it, no prefix scan needed. Fold
+			// its counter history into the retired accumulators *before*
+			// the state leaves the map, so a concurrent Stats() never
+			// observes the partition gone but its history not yet retired
+			// (the aggregate counters are Prometheus-monotonic).
+			if s.router == nil {
+				h, m := es.part.cache.Counters()
+				s.retiredHits.Add(h)
+				s.retiredMisses.Add(m)
+			}
+			delete(s.engines, name)
+			stale = append(stale, es)
+		}
+	}
+	s.emu.Unlock()
+
+	if len(stale) == 0 || s.router == nil {
+		return
+	}
+	// Sharded: caches are shared across engines, so evict each stale
+	// engine's key slice from every shard. Shard cache counters live on
+	// the stable shard set and need no retirement.
+	for _, es := range stale {
+		for _, p := range s.router.shards {
+			p.cache.DropPrefix(es.prefix)
+		}
+	}
+	s.router.invalidate()
+}
+
+// maybeRebalance triggers a rebalance when engines have registered or
+// unregistered since the last one. The steady-state cost is one atomic
+// load per request.
+func (s *Service) maybeRebalance() {
+	if s.regVersion.Load() != s.reg.Version() {
+		s.Rebalance()
+	}
+}

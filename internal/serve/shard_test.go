@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/graph"
+	"neusight/internal/kernels"
+	"neusight/internal/predict"
+)
+
+// countingEngine builds a func engine that counts backend evaluations.
+func countingEngine(name string, lat float64, calls *atomic.Int64) predict.Engine {
+	return predict.NewFuncEngine(name, predict.SourceAnalytical,
+		func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+			calls.Add(1)
+			return lat, nil
+		})
+}
+
+// shardedService builds an n-shard service over two engines: "alpha"
+// (default, latency 1) and "beta" (latency 2).
+func shardedService(t *testing.T, n int) *Service {
+	t.Helper()
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	reg.MustRegister(constEngine("beta", 2))
+	return NewMulti(reg, "alpha", Config{CacheSize: 64, Shards: n})
+}
+
+func TestShardRoutingIsDeterministicAndSpreads(t *testing.T) {
+	r := newShardRouter(8, 64, 2, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("engine-%d", i)
+		p1 := r.shardFor(key, "H100")
+		p2 := r.shardFor(key, "H100")
+		if p1 != p2 {
+			t.Fatalf("key %q routed to shards %d and %d", key, p1.shard, p2.shard)
+		}
+		seen[p1.shard] = true
+	}
+	// 64 keys over 8 shards: consistent hashing with 64 virtual points per
+	// shard spreads keys across most shards; all landing on one or two
+	// would mean the ring is broken.
+	if len(seen) < 4 {
+		t.Errorf("64 keys landed on only %d of 8 shards", len(seen))
+	}
+}
+
+func TestShardedServingMatchesUnsharded(t *testing.T) {
+	svc := shardedService(t, 4)
+	ctx := context.Background()
+	gpus := []gpu.Spec{gpu.MustLookup("V100"), gpu.MustLookup("H100"), gpu.MustLookup("A100-40GB")}
+	k := kernels.NewBMM(2, 64, 64, 64)
+
+	for _, g := range gpus {
+		for i := 0; i < 3; i++ {
+			res, err := svc.PredictKernelEngine(ctx, "", k, g)
+			if err != nil || res.Latency != 1 {
+				t.Fatalf("alpha on %s = (%+v, %v), want latency 1", g.Name, res, err)
+			}
+			res, err = svc.PredictKernelEngine(ctx, "beta", k, g)
+			if err != nil || res.Latency != 2 {
+				t.Fatalf("beta on %s = (%+v, %v), want latency 2", g.Name, res, err)
+			}
+		}
+	}
+
+	st := svc.Stats()
+	if st.Shards != 4 {
+		t.Errorf("Stats.Shards = %d, want 4", st.Shards)
+	}
+	// 6 unique (engine, GPU, kernel) keys, each queried 3 times.
+	if st.CacheMisses != 6 || st.CacheHits != 12 {
+		t.Errorf("hits/misses = %d/%d, want 12/6", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheLen != 6 {
+		t.Errorf("cache len = %d, want 6", st.CacheLen)
+	}
+
+	// Per-engine accounting must survive the shard layout.
+	for _, e := range svc.EngineStats() {
+		if e.Requests != 9 || e.CacheMisses != 3 || e.CacheHits != 6 || e.CacheLen != 3 {
+			t.Errorf("engine %s stats = %+v, want 9 requests, 6 hits, 3 misses, 3 entries", e.Engine, e)
+		}
+	}
+
+	// Shard sections: counters must sum to the aggregate.
+	shards := svc.Shards()
+	if len(shards) != 4 {
+		t.Fatalf("Shards() = %d entries, want 4", len(shards))
+	}
+	var reqs, hits, misses uint64
+	var keys, entries int
+	for _, sh := range shards {
+		reqs += sh.Requests
+		hits += sh.CacheHits
+		misses += sh.CacheMisses
+		keys += sh.Keys
+		entries += sh.CacheLen
+	}
+	if reqs != 18 || hits != 12 || misses != 6 || entries != 6 {
+		t.Errorf("shard sums = %d reqs, %d hits, %d misses, %d entries; want 18/12/6/6", reqs, hits, misses, entries)
+	}
+	if keys != 6 {
+		t.Errorf("assigned keys = %d, want 6 (2 engines x 3 GPUs)", keys)
+	}
+}
+
+func TestShardedBatchAndGraphPaths(t *testing.T) {
+	var calls atomic.Int64
+	reg := predict.NewRegistry()
+	reg.MustRegister(countingEngine("alpha", 1, &calls))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64, Shards: 4})
+	g := gpu.MustLookup("V100")
+	ks := []kernels.Kernel{
+		kernels.NewBMM(2, 64, 64, 64),
+		kernels.NewLinear(64, 128, 128),
+		kernels.NewBMM(2, 64, 64, 64), // in-batch duplicate
+	}
+
+	outs, err := svc.PredictBatchEngine(context.Background(), "", ks, g)
+	if err != nil {
+		t.Fatalf("PredictBatchEngine: %v", err)
+	}
+	for i, out := range outs {
+		if out.Err != nil || out.Result.Latency != 1 {
+			t.Fatalf("outs[%d] = %+v, want latency 1", i, out)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("backend calls = %d, want 2 (in-batch dedup must survive sharding)", got)
+	}
+
+	// The same keys again: all hits, no new backend work.
+	if _, err := svc.PredictBatchEngine(context.Background(), "", ks, g); err != nil {
+		t.Fatalf("second batch: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("backend calls after warm batch = %d, want 2", got)
+	}
+}
+
+func TestShardBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewFuncEngine("slow", "test",
+		func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+			started <- struct{}{}
+			<-gate
+			return 1, nil
+		}))
+	svc := NewMulti(reg, "slow", Config{CacheSize: 64, Shards: 2, ShardWorkers: 4, ShardQueue: 1})
+	g := gpu.MustLookup("V100")
+	ctx := context.Background()
+
+	// Occupy the single in-flight slot of the (slow, V100) shard.
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.PredictKernelEngine(ctx, "", kernels.NewBMM(1, 32, 32, 32), g)
+		done <- err
+	}()
+	<-started
+
+	// The shard is saturated: a second, different kernel must be rejected
+	// immediately rather than queue.
+	_, err := svc.PredictKernelEngine(ctx, "", kernels.NewLinear(8, 16, 16), g)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated shard error = %v, want ErrSaturated", err)
+	}
+
+	// Batch and graph traffic on the saturated shard reject as a whole —
+	// a call-level error, never per-item fallbacks.
+	if _, err := svc.PredictBatchEngine(ctx, "", []kernels.Kernel{kernels.NewLinear(8, 16, 16)}, g); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated batch error = %v, want ErrSaturated", err)
+	}
+	gr := graph.New("sat")
+	gr.Add(kernels.NewLinear(8, 16, 16))
+	if _, _, err := svc.PredictGraphEngine(ctx, "", gr, g); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated graph error = %v, want ErrSaturated (not a fallback-assembled total)", err)
+	}
+
+	st := svc.Stats()
+	if st.Rejected != 3 {
+		t.Errorf("Stats.Rejected = %d, want 3", st.Rejected)
+	}
+	// Rejections must not inflate request throughput or the latency
+	// window: only the one admitted (still in-flight) request counts.
+	if st.Requests != 1 {
+		t.Errorf("Stats.Requests = %d, want 1 (rejected requests must not count)", st.Requests)
+	}
+	var shardRejected uint64
+	for _, sh := range svc.Shards() {
+		shardRejected += sh.Rejected
+	}
+	if shardRejected != 3 {
+		t.Errorf("per-shard rejected sum = %d, want 3", shardRejected)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+
+	// With the slot free again the shard admits new work.
+	if _, err := svc.PredictKernelEngine(ctx, "", kernels.NewLinear(8, 16, 16), g); err != nil {
+		t.Fatalf("post-drain request failed: %v", err)
+	}
+}
+
+func TestSaturationMapsTo503(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewFuncEngine("slow", "test",
+		func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+			started <- struct{}{}
+			<-gate
+			return 1, nil
+		}))
+	svc := NewMulti(reg, "slow", Config{CacheSize: 64, Shards: 2, ShardQueue: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer close(gate)
+
+	go svc.PredictKernelEngine(context.Background(), "", kernels.NewBMM(1, 32, 32, 32), gpu.MustLookup("V100"))
+	<-started
+
+	resp, err := http.Post(ts.URL+"/v2/predict/kernel", "application/json",
+		strings.NewReader(`{"op":"linear","m":8,"k":16,"n":16,"gpu":"V100"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("saturated shard HTTP status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRebalanceDropsUnregisteredEngineState(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	reg.MustRegister(constEngine("gamma", 3))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64, Shards: 4})
+	g := gpu.MustLookup("V100")
+	k := kernels.NewBMM(2, 64, 64, 64)
+	ctx := context.Background()
+
+	svc.PredictKernelEngine(ctx, "", k, g)
+	svc.PredictKernelEngine(ctx, "gamma", k, g)
+	if st := svc.Stats(); st.CacheLen != 2 {
+		t.Fatalf("cache len = %d, want 2", st.CacheLen)
+	}
+
+	if !reg.Unregister("gamma") {
+		t.Fatal("Unregister(gamma) reported no engine")
+	}
+	// The next request observes the version drift and rebalances: gamma's
+	// cache slice is evicted, its engine state dropped, and requests for
+	// it now fail routing.
+	if _, err := svc.PredictKernelEngine(ctx, "gamma", k, g); !errors.Is(err, predict.ErrUnknownEngine) {
+		t.Fatalf("unregistered engine error = %v, want ErrUnknownEngine", err)
+	}
+	if st := svc.Stats(); st.CacheLen != 1 {
+		t.Errorf("cache len after rebalance = %d, want 1 (gamma's entry evicted)", st.CacheLen)
+	}
+	for _, e := range svc.EngineStats() {
+		if e.Engine == "gamma" {
+			t.Errorf("engine stats still list unregistered gamma: %+v", e)
+		}
+	}
+
+	// alpha's entry survived: still a cache hit.
+	before := svc.Stats().CacheHits
+	svc.PredictKernelEngine(ctx, "", k, g)
+	if after := svc.Stats().CacheHits; after != before+1 {
+		t.Errorf("alpha hit after rebalance: hits %d -> %d, want +1", before, after)
+	}
+}
+
+// TestUnshardedRebalanceKeepsCounterHistory pins that dropping an
+// engine's private partition (unsharded layout) does not regress the
+// aggregate cache counters — they are exported to Prometheus as
+// monotonic counters.
+func TestUnshardedRebalanceKeepsCounterHistory(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	reg.MustRegister(constEngine("gamma", 3))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64}) // unsharded
+	g := gpu.MustLookup("V100")
+	k := kernels.NewBMM(2, 64, 64, 64)
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		svc.PredictKernelEngine(ctx, "gamma", k, g)
+	}
+	before := svc.Stats()
+	if before.CacheHits != 4 || before.CacheMisses != 1 {
+		t.Fatalf("pre-rebalance hits/misses = %d/%d, want 4/1", before.CacheHits, before.CacheMisses)
+	}
+
+	reg.Unregister("gamma")
+	svc.Rebalance()
+	after := svc.Stats()
+	if after.CacheHits < before.CacheHits || after.CacheMisses < before.CacheMisses {
+		t.Errorf("aggregate counters regressed across rebalance: hits %d->%d, misses %d->%d",
+			before.CacheHits, after.CacheHits, before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheLen != 0 {
+		t.Errorf("cache len after dropping the only traffic's engine = %d, want 0", after.CacheLen)
+	}
+}
+
+// TestReplacedEngineDoesNotServeStaleCache pins the rebalance race: an
+// evaluation in flight while its engine is unregistered and replaced must
+// not park its result where the replacement engine can serve it. Cache
+// keys carry a per-registration epoch, so the straggler caches into a
+// dead key space.
+func TestReplacedEngineDoesNotServeStaleCache(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewFuncEngine("x", "test",
+		func(k kernels.Kernel, g gpu.Spec) (float64, error) {
+			started <- struct{}{}
+			<-gate
+			return 1, nil // the OLD engine's answer
+		}))
+	svc := NewMulti(reg, "x", Config{CacheSize: 64, Shards: 4})
+	g := gpu.MustLookup("V100")
+	k := kernels.NewBMM(2, 64, 64, 64)
+	ctx := context.Background()
+
+	// Lead an evaluation on the old engine and hold it in the backend.
+	done := make(chan float64, 1)
+	go func() {
+		res, _ := svc.PredictKernelEngine(ctx, "", k, g)
+		done <- res.Latency
+	}()
+	<-started
+
+	// Replace the engine under the same name while the evaluation hangs.
+	reg.Unregister("x")
+	reg.MustRegister(constEngine("x", 5))
+	svc.Rebalance()
+
+	// Let the straggler complete: it caches under the old epoch's keys.
+	close(gate)
+	if lat := <-done; lat != 1 {
+		t.Fatalf("in-flight request latency = %v, want 1 (old engine)", lat)
+	}
+
+	// The replacement must answer fresh — not serve the straggler's entry.
+	res, err := svc.PredictKernelEngine(ctx, "", k, g)
+	if err != nil {
+		t.Fatalf("post-replacement request: %v", err)
+	}
+	if res.Latency != 5 {
+		t.Errorf("post-replacement latency = %v, want 5 (stale cache entry served)", res.Latency)
+	}
+}
+
+// TestShardRebalanceUnderConcurrentLoad hammers a sharded service from
+// many goroutines while engines churn (register/unregister) behind it —
+// the registry-version rebalance path must stay correct and race-free
+// (run under -race).
+func TestShardRebalanceUnderConcurrentLoad(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	reg.MustRegister(constEngine("beta", 2))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 256, Shards: 4})
+	gpus := []gpu.Spec{gpu.MustLookup("V100"), gpu.MustLookup("H100"), gpu.MustLookup("A100-40GB")}
+	ctx := context.Background()
+
+	const clients = 16
+	const perClient = 200
+	stop := make(chan struct{})
+
+	// Churn: register and unregister a transient engine while traffic runs.
+	var churnWg sync.WaitGroup
+	churnWg.Add(1)
+	go func() {
+		defer churnWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("churn-%d", i%3)
+			if reg.Register(constEngine(name, 9)) == nil {
+				svc.PredictKernelEngine(ctx, name, kernels.NewBMM(1, 16, 16, 16), gpus[i%len(gpus)])
+				reg.Unregister(name)
+			}
+			svc.Rebalance()
+		}
+	}()
+
+	var failures atomic.Int64
+	var clientWg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		clientWg.Add(1)
+		go func(c int) {
+			defer clientWg.Done()
+			for i := 0; i < perClient; i++ {
+				engine := ""
+				if i%2 == 1 {
+					engine = "beta"
+				}
+				k := kernels.NewBMM(1+i%4, 32, 32, 32)
+				g := gpus[(c+i)%len(gpus)]
+				res, err := svc.PredictKernelEngine(ctx, engine, k, g)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				want := 1.0
+				if engine == "beta" {
+					want = 2
+				}
+				if res.Latency != want {
+					t.Errorf("engine %q latency = %v, want %v", engine, res.Latency, want)
+					return
+				}
+			}
+		}(c)
+	}
+
+	clientWg.Wait()
+	close(stop)
+	churnWg.Wait()
+
+	if failures.Load() > 0 {
+		t.Errorf("stable-engine requests failed during churn: %d failures", failures.Load())
+	}
+	// The service is still fully functional after churn.
+	if _, err := svc.PredictKernelEngine(ctx, "beta", kernels.NewBMM(1, 32, 32, 32), gpus[0]); err != nil {
+		t.Fatalf("post-churn request failed: %v", err)
+	}
+}

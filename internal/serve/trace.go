@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// TraceEntry is one line of a workload trace: a (kernel, GPU, engine) key
+// the service served, serialized with the operator's canonical name so a
+// trace written by one build replays in another. Fused kernels carry their
+// fusion accounting so replay rebuilds the exact cache key.
+type TraceEntry struct {
+	Engine string `json:"engine"`
+	GPU    string `json:"gpu"`
+	Op     string `json:"op"`
+	B      int    `json:"b,omitempty"`
+	M      int    `json:"m,omitempty"`
+	K      int    `json:"k,omitempty"`
+	N      int    `json:"n,omitempty"`
+	DType  string `json:"dtype,omitempty"`
+
+	Fused      bool     `json:"fused,omitempty"`
+	FusedFLOPs float64  `json:"fused_flops,omitempty"`
+	FusedBytes float64  `json:"fused_bytes,omitempty"`
+	FusedOps   []string `json:"fused_ops,omitempty"`
+
+	ConvInputElems float64 `json:"conv_input_elems,omitempty"`
+}
+
+// entryFromKernel serializes a served key.
+func entryFromKernel(engine string, k kernels.Kernel, g gpu.Spec) TraceEntry {
+	e := TraceEntry{
+		Engine: engine, GPU: g.Name,
+		Op: k.Op.String(), B: k.B, M: k.M, K: k.K, N: k.N,
+		ConvInputElems: k.ConvInputElems,
+	}
+	if k.DType != kernels.FP32 {
+		e.DType = k.DType.String()
+	}
+	if k.Fused {
+		e.Fused = true
+		e.FusedFLOPs = k.FusedFLOPs
+		e.FusedBytes = k.FusedBytes
+		for _, op := range k.FusedOps {
+			e.FusedOps = append(e.FusedOps, op.String())
+		}
+	}
+	return e
+}
+
+// Kernel reconstructs the kernel a trace entry describes.
+func (e TraceEntry) Kernel() (kernels.Kernel, error) {
+	op, ok := kernels.OpByName(e.Op)
+	if !ok {
+		return kernels.Kernel{}, fmt.Errorf("unknown op %q", e.Op)
+	}
+	k := kernels.Kernel{Op: op, B: e.B, M: e.M, K: e.K, N: e.N, ConvInputElems: e.ConvInputElems}
+	switch e.DType {
+	case "", "fp32":
+	case "fp16":
+		k.DType = kernels.FP16
+	default:
+		return kernels.Kernel{}, fmt.Errorf("unknown dtype %q", e.DType)
+	}
+	if e.Fused {
+		k.Fused = true
+		k.FusedFLOPs = e.FusedFLOPs
+		k.FusedBytes = e.FusedBytes
+		for _, name := range e.FusedOps {
+			fop, ok := kernels.OpByName(name)
+			if !ok {
+				return kernels.Kernel{}, fmt.Errorf("unknown fused op %q", name)
+			}
+			k.FusedOps = append(k.FusedOps, fop)
+		}
+	}
+	return k, nil
+}
+
+// maxTraceKeys bounds the recorder's in-memory dedup set. Real workloads
+// have a few thousand unique (kernel, GPU, engine) keys; once the set is
+// full the working profile is captured and further novel keys are dropped
+// (counted, not silently).
+const maxTraceKeys = 1 << 16
+
+// TraceRecorder appends the unique keys a service serves to a JSONL
+// workload trace — the persistent profile a later process replays to warm
+// its caches (see Service.WarmFromTrace). Records happen on the cache-fill
+// path (first successful serve of a key), so steady-state cache hits cost
+// nothing; an in-memory set deduplicates refills after LRU eviction. Safe
+// for concurrent use.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	seen    map[string]struct{}
+	dropped uint64 // novel keys not recorded (dedup set full or write error)
+	err     error  // first write error; recording stops permanently
+}
+
+// NewTraceRecorder opens (creating or appending to) the trace at path.
+// Keys already present in the file seed the dedup set, so the
+// record-into-the-same-file-you-warmed-from deployment loop does not grow
+// the trace with duplicates across restarts (an LRU eviction + refill
+// would otherwise re-append every key each run).
+func NewTraceRecorder(path string) (*TraceRecorder, error) {
+	seen := map[string]struct{}{}
+	if entries, _, err := ReadTrace(path); err == nil {
+		for _, e := range entries {
+			k, kerr := e.Kernel()
+			if kerr != nil {
+				continue
+			}
+			seen[e.Engine+"|"+k.Label()+"@"+e.GPU] = struct{}{}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open trace: %w", err)
+	}
+	return &TraceRecorder{f: f, bw: bufio.NewWriter(f), seen: seen}, nil
+}
+
+// Record appends the (engine, kernel, GPU) key if it has not been recorded
+// by this recorder before.
+func (r *TraceRecorder) Record(engine string, k kernels.Kernel, g gpu.Spec) {
+	key := engine + "|" + k.Label() + "@" + g.Name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.seen[key]; ok {
+		return
+	}
+	if r.err != nil || len(r.seen) >= maxTraceKeys {
+		r.dropped++
+		return
+	}
+	r.seen[key] = struct{}{}
+	line, err := json.Marshal(entryFromKernel(engine, k, g))
+	if err == nil {
+		_, err = r.bw.Write(append(line, '\n'))
+	}
+	if err != nil {
+		r.err = err
+		r.dropped++
+	}
+}
+
+// Flush writes buffered entries through to the file.
+func (r *TraceRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Dropped returns how many novel keys were not recorded (dedup set full
+// or a write error).
+func (r *TraceRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Close flushes and closes the trace file.
+func (r *TraceRecorder) Close() error {
+	flushErr := r.Flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
+
+// SetTraceRecorder starts (non-nil) or stops (nil) recording served keys
+// to r. The caller owns r's lifecycle: flush/close it after the service
+// stops serving.
+func (s *Service) SetTraceRecorder(r *TraceRecorder) { s.recorder.Store(r) }
+
+// recordTrace is the serving-path hook: called after a key is served and
+// cached for the first time.
+func (s *Service) recordTrace(engine string, k kernels.Kernel, g gpu.Spec) {
+	if r := s.recorder.Load(); r != nil {
+		r.Record(engine, k, g)
+	}
+}
+
+// ReadTrace parses the JSONL trace at path. Truncated, corrupt,
+// unparseable, or absurdly long lines are skipped and counted — damage
+// anywhere in the file (a torn append, binary corruption mid-file) must
+// not void the valid profile before or after it.
+func ReadTrace(path string) (entries []TraceEntry, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: open trace: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, isPrefix, readErr := br.ReadLine()
+		if readErr != nil {
+			// io.EOF is the clean end; any other read error truncates the
+			// profile at the damage, counted once.
+			if readErr != io.EOF {
+				skipped++
+			}
+			break
+		}
+		if isPrefix {
+			// A line longer than the read buffer is not a trace entry
+			// (entries are a few hundred bytes): drain its remainder and
+			// count one skip, then continue with the next line.
+			skipped++
+			for isPrefix && readErr == nil {
+				_, isPrefix, readErr = br.ReadLine()
+			}
+			if readErr != nil {
+				break
+			}
+			continue
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var e TraceEntry
+		if jsonErr := json.Unmarshal(line, &e); jsonErr != nil || e.Op == "" || e.GPU == "" {
+			skipped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped, nil
+}
+
+// WarmupStats reports one trace replay, exposed in the "warmup" section
+// of /v2/stats.
+type WarmupStats struct {
+	Source     string  `json:"source"`  // trace path
+	Entries    int     `json:"entries"` // lines that parsed
+	Warmed     int     `json:"warmed"`  // forecasts primed into the caches
+	Skipped    int     `json:"skipped"` // corrupt/unparseable lines
+	Failed     int     `json:"failed"`  // entries that could not be primed (unknown engine/GPU/op, backend error)
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Warmup returns the report of the last WarmFromTrace replay, or nil when
+// none has run.
+func (s *Service) Warmup() *WarmupStats { return s.warmup.Load() }
+
+// WarmFromTrace replays the workload trace at path through the serving
+// path, priming every partition's cache before the process starts
+// accepting traffic: each (engine, GPU) group of entries is replayed
+// concurrently as one batched prediction, so warmup parallelizes across
+// shards and amortizes native-batch engines exactly like live traffic.
+//
+// Damaged lines and entries naming unknown engines, GPUs, or operators
+// are counted and skipped — a stale or truncated trace degrades warmup,
+// never aborts it. The only errors returned are an unreadable trace file
+// and a cancelled context. Warmup traffic moves the ordinary serving
+// counters (requests, misses); the returned report, also exposed on
+// /v2/stats, is the separate accounting.
+func (s *Service) WarmFromTrace(ctx context.Context, path string) (WarmupStats, error) {
+	start := time.Now()
+	ws := WarmupStats{Source: path}
+	entries, skipped, err := ReadTrace(path)
+	ws.Skipped = skipped
+	if err != nil {
+		return ws, err
+	}
+	ws.Entries = len(entries)
+
+	// Group by (engine, GPU): each group is one batched replay against one
+	// partition.
+	type group struct {
+		engine string
+		g      gpu.Spec
+		ks     []kernels.Kernel
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, e := range entries {
+		g, lookupErr := gpu.Lookup(e.GPU)
+		if lookupErr != nil {
+			ws.Failed++
+			continue
+		}
+		k, kernErr := e.Kernel()
+		if kernErr != nil {
+			ws.Failed++
+			continue
+		}
+		gk := e.Engine + "|" + g.Name
+		grp, ok := groups[gk]
+		if !ok {
+			grp = &group{engine: e.Engine, g: g}
+			groups[gk] = grp
+			order = append(order, gk)
+		}
+		grp.ks = append(grp.ks, k)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		warmed int
+		failed int
+	)
+	for _, gk := range order {
+		grp := groups[gk]
+		es, engErr := s.engine(grp.engine)
+		if engErr != nil {
+			mu.Lock()
+			failed += len(grp.ks)
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(grp *group, es *engineState) {
+			defer wg.Done()
+			outs, batchErr := s.predictMany(ctx, es, grp.ks, grp.g)
+			ok, bad := 0, 0
+			if batchErr != nil { // e.g. a saturated shard: nothing primed
+				bad = len(grp.ks)
+			} else {
+				for _, out := range outs {
+					if out.Err != nil {
+						bad++
+					} else {
+						ok++
+					}
+				}
+			}
+			mu.Lock()
+			warmed += ok
+			failed += bad
+			mu.Unlock()
+		}(grp, es)
+	}
+	wg.Wait()
+	ws.Warmed += warmed
+	ws.Failed += failed
+	ws.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	s.warmup.Store(&ws)
+	return ws, ctx.Err()
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/predict"
+)
+
+func TestTraceEntryKernelRoundTrip(t *testing.T) {
+	g := gpu.MustLookup("H100")
+	cases := []kernels.Kernel{
+		kernels.NewBMM(8, 512, 512, 512),
+		kernels.NewLinear(64, 256, 256).WithDType(kernels.FP16),
+		kernels.NewSoftmax(4096, 512),
+		{Op: kernels.OpLinear, M: 32, K: 64, N: 64, Fused: true,
+			FusedFLOPs: 1e6, FusedBytes: 2e4, FusedOps: []kernels.Op{kernels.OpLinear, kernels.OpEWGELU}},
+	}
+	for _, k := range cases {
+		e := entryFromKernel("neusight", k, g)
+		got, err := e.Kernel()
+		if err != nil {
+			t.Fatalf("Kernel() on %s: %v", k.Label(), err)
+		}
+		if !reflect.DeepEqual(got, k) {
+			t.Errorf("round trip of %s: got %+v, want %+v", k.Label(), got, k)
+		}
+		if e.Engine != "neusight" || e.GPU != "H100" {
+			t.Errorf("entry metadata = %+v", e)
+		}
+	}
+}
+
+// TestWarmupFirstRequestIsCacheHit is the acceptance path: record a trace
+// from one service, restart into a fresh one, warm it from the trace, and
+// require the first trace-covered request to be served from cache — no
+// backend call, hit counter moves.
+func TestWarmupFirstRequestIsCacheHit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "workload.jsonl")
+	g := gpu.MustLookup("V100")
+	ks := []kernels.Kernel{
+		kernels.NewBMM(4, 128, 128, 128),
+		kernels.NewLinear(64, 256, 256),
+		kernels.NewSoftmax(1024, 128).WithDType(kernels.FP16),
+	}
+
+	// First process: serve traffic with recording on.
+	var callsA atomic.Int64
+	regA := predict.NewRegistry()
+	regA.MustRegister(countingEngine("alpha", 1, &callsA))
+	svcA := NewMulti(regA, "alpha", Config{CacheSize: 64})
+	rec, err := NewTraceRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcA.SetTraceRecorder(rec)
+	for _, k := range ks {
+		if _, err := svcA.PredictKernel(k, g); err != nil {
+			t.Fatalf("PredictKernel: %v", err)
+		}
+		// Repeats are cache hits and must not duplicate trace entries.
+		svcA.PredictKernel(k, g)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%d entries, %d skipped, %v)", len(entries), skipped, err)
+	}
+	if len(entries) != len(ks) {
+		t.Fatalf("trace has %d entries, want %d (one per unique key)", len(entries), len(ks))
+	}
+
+	// Second process: fresh service, warm from the trace, sharded this
+	// time — warmup must prime shard caches the same way.
+	var callsB atomic.Int64
+	regB := predict.NewRegistry()
+	regB.MustRegister(countingEngine("alpha", 1, &callsB))
+	svcB := NewMulti(regB, "alpha", Config{CacheSize: 64, Shards: 4})
+	ws, err := svcB.WarmFromTrace(context.Background(), path)
+	if err != nil {
+		t.Fatalf("WarmFromTrace: %v", err)
+	}
+	if ws.Entries != len(ks) || ws.Warmed != len(ks) || ws.Skipped != 0 || ws.Failed != 0 {
+		t.Fatalf("warmup stats = %+v, want %d entries all warmed", ws, len(ks))
+	}
+	if got := callsB.Load(); got != int64(len(ks)) {
+		t.Fatalf("warmup backend calls = %d, want %d", got, len(ks))
+	}
+	if svcB.Warmup() == nil {
+		t.Fatal("Warmup() report not stored")
+	}
+
+	// The first live request for every trace-covered key is a cache hit.
+	hitsBefore := svcB.Stats().CacheHits
+	for _, k := range ks {
+		if _, err := svcB.PredictKernel(k, g); err != nil {
+			t.Fatalf("post-warmup PredictKernel: %v", err)
+		}
+	}
+	if got := callsB.Load(); got != int64(len(ks)) {
+		t.Errorf("backend calls after live traffic = %d, want %d (all requests served from warm cache)", got, len(ks))
+	}
+	if hits := svcB.Stats().CacheHits - hitsBefore; hits != uint64(len(ks)) {
+		t.Errorf("cache hits after warmup = %d, want %d", hits, len(ks))
+	}
+}
+
+func TestWarmupSkipsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "damaged.jsonl")
+	lines := []string{
+		`{"engine":"alpha","gpu":"V100","op":"bmm","b":2,"m":64,"k":64,"n":64}`,
+		`{"engine":"alpha","gpu":"V100","op":"linear","m":32,"k":`, // truncated mid-append
+		`not json at all`,
+		`{"engine":"alpha","gpu":"NoSuchGPU","op":"bmm","b":2,"m":64,"k":64,"n":64}`, // unknown GPU
+		`{"engine":"alpha","gpu":"V100","op":"warpdrive","b":2,"m":64}`,              // unknown op
+		`{"engine":"ghost","gpu":"V100","op":"bmm","b":4,"m":32,"k":32,"n":32}`,      // unknown engine
+		``, // blank line
+		`{"engine":"alpha","gpu":"V100","op":"softmax","b":1024,"m":128}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64})
+	ws, err := svc.WarmFromTrace(context.Background(), path)
+	if err != nil {
+		t.Fatalf("WarmFromTrace must not abort on damaged lines: %v", err)
+	}
+	// 2 corrupt lines skipped at parse; unknown GPU/op/engine fail at
+	// replay; the 2 good alpha entries warm.
+	if ws.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", ws.Skipped)
+	}
+	if ws.Failed != 3 {
+		t.Errorf("failed = %d, want 3 (unknown gpu, op, engine)", ws.Failed)
+	}
+	if ws.Warmed != 2 {
+		t.Errorf("warmed = %d, want 2", ws.Warmed)
+	}
+	if st := svc.Stats(); st.CacheLen != 2 {
+		t.Errorf("cache len after warmup = %d, want 2", st.CacheLen)
+	}
+}
+
+// TestReadTraceSurvivesOverlongLineMidFile pins that a single absurdly
+// long corrupt line in the middle of a trace costs exactly one skip — the
+// valid entries after it still parse.
+func TestReadTraceSurvivesOverlongLineMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "long.jsonl")
+	var b strings.Builder
+	b.WriteString(`{"engine":"alpha","gpu":"V100","op":"bmm","b":2,"m":64,"k":64,"n":64}` + "\n")
+	b.WriteString(strings.Repeat("x", 2<<20) + "\n") // 2 MiB of garbage, one line
+	b.WriteString(`{"engine":"alpha","gpu":"V100","op":"softmax","b":1024,"m":128}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, skipped, err := ReadTrace(path)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("entries = %d, want 2 (the valid line after the damage must survive)", len(entries))
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+}
+
+func TestWarmFromTraceMissingFile(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64})
+	if _, err := svc.WarmFromTrace(context.Background(), filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("warmup from a missing trace must error (the operator asked for it)")
+	}
+}
+
+func TestTraceRecorderDedupsAcrossBatchAndSingle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dedup.jsonl")
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64})
+	rec, err := NewTraceRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetTraceRecorder(rec)
+	g := gpu.MustLookup("V100")
+	k1 := kernels.NewBMM(2, 64, 64, 64)
+	k2 := kernels.NewLinear(8, 16, 16)
+
+	svc.PredictKernel(k1, g)
+	svc.PredictBatch([]kernels.Kernel{k1, k2, k2}, g) // k1 already recorded, k2 once
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%v, %d skipped)", err, skipped)
+	}
+	if len(entries) != 2 {
+		t.Errorf("trace entries = %d, want 2 unique keys", len(entries))
+	}
+}
+
+// TestTraceRecorderSeedsFromExistingFile pins the restart loop: reopening
+// a recorder on an existing trace must not re-append keys the file
+// already holds, even after an eviction/refill would re-trigger Record.
+func TestTraceRecorderSeedsFromExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seed.jsonl")
+	g := gpu.MustLookup("V100")
+	k1 := kernels.NewBMM(2, 64, 64, 64)
+	k2 := kernels.NewLinear(8, 16, 16)
+
+	rec, err := NewTraceRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record("alpha", k1, g)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := NewTraceRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.Record("alpha", k1, g) // already in the file: must not duplicate
+	rec2.Record("alpha", k2, g) // novel: must append
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%v, %d skipped)", err, skipped)
+	}
+	if len(entries) != 2 {
+		t.Errorf("trace entries after reopen = %d, want 2 (no duplicate of k1)", len(entries))
+	}
+}
+
+func TestTraceRecorderConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.jsonl")
+	rec, err := NewTraceRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gpu.MustLookup("V100")
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				rec.Record("alpha", kernels.NewBMM(1+i%10, 32, 32, 32), g)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%v, %d skipped)", err, skipped)
+	}
+	if len(entries) != 10 {
+		t.Errorf("trace entries = %d, want 10 unique keys", len(entries))
+	}
+}

@@ -41,11 +41,30 @@ else
   go test -race ./...
 fi
 
+# Docs gate: every versioned route the HTTP layer actually handles must be
+# documented in docs/API.md — adding an endpoint without documenting it
+# fails CI here.
+echo "==> docs gate (API routes vs docs/API.md)"
+missing=0
+for route in $(grep -o 'mux.HandleFunc("/v[12][^"]*"' internal/serve/http.go | sed 's/mux.HandleFunc("//; s/"$//'); do
+  if ! grep -q -- "$route" docs/API.md; then
+    echo "route $route handled in internal/serve/http.go but missing from docs/API.md" >&2
+    missing=1
+  fi
+done
+if ! grep -q -- "/metrics" docs/API.md; then
+  echo "route /metrics handled in internal/serve/http.go but missing from docs/API.md" >&2
+  missing=1
+fi
+if [[ "$missing" != 0 ]]; then
+  exit 1
+fi
+
 # Benchmark smoke run: one iteration each, so bit-rotted benchmarks (stale
 # APIs, broken fixtures) fail CI without CI paying for real measurement.
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x ./internal/mat ./internal/core >/dev/null
 go test -run '^$' -bench 'EngineDispatch' -benchtime=1x ./internal/predict >/dev/null
-go test -run '^$' -bench 'Serve' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'Serve|ShardedThroughput' -benchtime=1x . >/dev/null
 
 echo "OK"
