@@ -15,13 +15,20 @@
 //	neusight quick   -workload GPT3-XL -gpu H100 -batch 2 [-engine roofline]
 //	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick]
 //	                 [-shards 8] [-warmup trace.jsonl] [-trace-record trace.jsonl]
+//	                 [-trace-compact 5] [-peers host2:8080,host3:8080]
+//	                 [-steer redirect|proxy|off] [-advertise host1:8080]
+//	                 [-cluster-listen :9090]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
 // fastest way to get a forecast. "serve" exposes the engine registry as a
 // concurrent HTTP JSON API (/v2 selects an engine per request) with
 // per-engine prediction caching and request coalescing; -shards splits
 // traffic by (engine, GPU) onto dedicated shards, and -warmup /
-// -trace-record persist the workload profile across restarts.
+// -trace-record persist the workload profile across restarts. -peers forms
+// a cluster with other serve processes: engine-generation changes gossip
+// between members so a retrain anywhere invalidates every member's stale
+// cache, and requests are steered (307 redirect or transparent proxy) to
+// the member owning their (engine, GPU) shard.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"neusight/internal/baselines"
+	"neusight/internal/cluster"
 	"neusight/internal/core"
 	"neusight/internal/dataset"
 	"neusight/internal/gpu"
@@ -376,8 +384,33 @@ func serveCmd(args []string) error {
 	shardQueue := fs.Int("shard-queue", 0, "per-shard in-flight request bound before 503 backpressure (0 = default, negative = unbounded)")
 	tracePath := fs.String("trace-record", "", "append served (kernel, GPU, engine) keys to this JSONL workload trace")
 	warmupPath := fs.String("warmup", "", "replay this workload trace to warm caches before accepting traffic")
+	traceCompact := fs.Int("trace-compact", 0, "age out trace keys not requested within the last K replays (0 = off; requires -trace-record)")
+	peers := fs.String("peers", "", "comma-separated addresses of peer serve processes forming a cluster")
+	steer := fs.String("steer", cluster.SteerRedirect, "cluster steering for requests owned by a peer: redirect (307), proxy (transparent), or off")
+	advertise := fs.String("advertise", "", "address peers reach this process at (default: -addr with an empty host replaced by 127.0.0.1)")
+	clusterListen := fs.String("cluster-listen", "", "optional extra listener serving only the cluster control routes (/v2/cluster/*)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceCompact < 0 {
+		return fmt.Errorf("serve: -trace-compact must be >= 0, got %d", *traceCompact)
+	}
+	if *traceCompact > 0 && *tracePath == "" {
+		return fmt.Errorf("serve: -trace-compact requires -trace-record")
+	}
+	if (*clusterListen != "" || *advertise != "") && *peers == "" {
+		return fmt.Errorf("serve: -cluster-listen and -advertise require -peers")
+	}
+	// Validate -steer before the expensive model loading/training below: a
+	// typo'd mode must fail in milliseconds, not after a -quick train.
+	switch *steer {
+	case cluster.SteerRedirect, cluster.SteerProxy, cluster.SteerOff:
+	default:
+		return fmt.Errorf("serve: unknown -steer mode %q (want %s, %s, or %s)",
+			*steer, cluster.SteerRedirect, cluster.SteerProxy, cluster.SteerOff)
+	}
+	if *steer != cluster.SteerRedirect && *peers == "" {
+		return fmt.Errorf("serve: -steer requires -peers")
 	}
 	var p *core.Predictor
 	var ds *dataset.Dataset
@@ -426,7 +459,13 @@ func serveCmd(args []string) error {
 	// record hook. Pointing both flags at the same file stays duplicate-free:
 	// the recorder seeds its dedup set from the file's existing entries.
 	if *tracePath != "" {
-		rec, err := serve.NewTraceRecorder(*tracePath)
+		var rec *serve.TraceRecorder
+		var err error
+		if *traceCompact > 0 {
+			rec, err = serve.NewTraceRecorderCompact(*tracePath, *traceCompact)
+		} else {
+			rec, err = serve.NewTraceRecorder(*tracePath)
+		}
 		if err != nil {
 			return err
 		}
@@ -437,6 +476,10 @@ func serveCmd(args []string) error {
 		}()
 		svc.SetTraceRecorder(rec)
 		fmt.Printf("recording workload trace to %s\n", *tracePath)
+		if tc := rec.Compaction(); tc != nil {
+			fmt.Printf("trace compaction: %d entries loaded, %d aged out (idle bound %d replays)\n",
+				tc.Loaded, tc.AgedOut, tc.MaxIdleReplays)
+		}
 	}
 	// Warm before listening: the first connection a client can open is
 	// already served from a cache primed with the saved workload profile.
@@ -448,6 +491,41 @@ func serveCmd(args []string) error {
 		}
 		fmt.Printf("warmup: %d entries, %d warmed, %d corrupt lines skipped, %d failed, %.0f ms\n",
 			ws.Entries, ws.Warmed, ws.Skipped, ws.Failed, ws.DurationMs)
+	}
+	var handler http.Handler = serve.NewHandler(svc)
+	var node *cluster.Node
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = deriveSelf(*addr)
+		}
+		n, err := cluster.NewNode(cluster.Config{
+			Self:          self,
+			Peers:         splitPeers(*peers),
+			Steer:         *steer,
+			Registry:      reg,
+			DefaultEngine: svc.DefaultEngine(),
+			Invalidate:    svc.InvalidateEngine,
+		})
+		if err != nil {
+			return err
+		}
+		node = n
+		handler = node.Handler(handler)
+		node.Start()
+		defer node.Stop()
+		if *clusterListen != "" {
+			cln, err := net.Listen("tcp", *clusterListen)
+			if err != nil {
+				return err
+			}
+			ctrl := &http.Server{Handler: node.ControlHandler(), ReadHeaderTimeout: 10 * time.Second}
+			go ctrl.Serve(cln)
+			defer ctrl.Close()
+			fmt.Printf("cluster control routes on %s\n", cln.Addr())
+		}
+		fmt.Printf("cluster: self %s, peers [%s], steering %s\n",
+			node.Self(), strings.Join(node.Peers(), " "), node.Mode())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -461,6 +539,9 @@ func serveCmd(args []string) error {
 		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize, layout)
 	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
 	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
+	if node != nil {
+		fmt.Println("           GET|POST /v2/cluster/generations (gossip)  GET /v2/cluster/ring (membership)")
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Release the signal handler as soon as the first signal lands: the
@@ -471,7 +552,7 @@ func serveCmd(args []string) error {
 		stop()
 	}()
 	srv := &http.Server{
-		Handler: serve.NewHandler(svc),
+		Handler: handler,
 		// Bound slow clients on both directions so trickled headers,
 		// unread responses, or abandoned connections cannot pin goroutines
 		// and file descriptors indefinitely.
@@ -481,6 +562,32 @@ func serveCmd(args []string) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	return runServer(ctx, srv, ln, *drain)
+}
+
+// splitPeers parses the -peers flag: comma-separated addresses, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// deriveSelf turns the -addr listen address into an address peers can
+// reach: a bare port (":8080") advertises 127.0.0.1 — right for local
+// multi-process clusters; multi-host deployments pass -advertise.
+func deriveSelf(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }
 
 // runServer serves srv on ln until ctx is cancelled (SIGINT/SIGTERM in

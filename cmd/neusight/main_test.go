@@ -190,6 +190,51 @@ func TestServeCmdRequiresSource(t *testing.T) {
 	}
 }
 
+func TestServeCmdFlagValidation(t *testing.T) {
+	if err := serveCmd([]string{"-quick", "-trace-compact", "3"}); err == nil {
+		t.Fatal("-trace-compact without -trace-record must error")
+	}
+	if err := serveCmd([]string{"-quick", "-cluster-listen", ":0"}); err == nil {
+		t.Fatal("-cluster-listen without -peers must error")
+	}
+	if err := serveCmd([]string{"-quick", "-advertise", "h:1"}); err == nil {
+		t.Fatal("-advertise without -peers must error")
+	}
+	// -steer validation must run before the expensive training step: these
+	// return in milliseconds precisely because they fail early.
+	if err := serveCmd([]string{"-quick", "-peers", "h:1", "-steer", "proyx"}); err == nil {
+		t.Fatal("unknown -steer mode must error")
+	}
+	if err := serveCmd([]string{"-quick", "-steer", "proxy"}); err == nil {
+		t.Fatal("-steer proxy without -peers must error")
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" h1:8080, ,h2:8080 ,")
+	if len(got) != 2 || got[0] != "h1:8080" || got[1] != "h2:8080" {
+		t.Fatalf("splitPeers = %v", got)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("splitPeers(\"\") must be empty")
+	}
+}
+
+func TestDeriveSelf(t *testing.T) {
+	for addr, want := range map[string]string{
+		":8080":          "127.0.0.1:8080",
+		"0.0.0.0:8080":   "127.0.0.1:8080",
+		"[::]:8080":      "127.0.0.1:8080",
+		"10.1.2.3:8080":  "10.1.2.3:8080",
+		"myhost:8080":    "myhost:8080",
+		"not-an-address": "not-an-address",
+	} {
+		if got := deriveSelf(addr); got != want {
+			t.Errorf("deriveSelf(%q) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
 // TestServeEndToEnd exercises the stack the serve subcommand assembles —
 // a real trained predictor behind serve.New and serve.NewHandler — through
 // an httptest server, the same wiring minus ListenAndServe.

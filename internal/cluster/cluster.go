@@ -1,0 +1,359 @@
+// Package cluster makes N `neusight serve` processes behave as one
+// coherent service. Each process runs a Node — a thin peer layer over the
+// serving stack — that adds the two mechanisms a multi-process deployment
+// needs beyond what a single process provides:
+//
+//   - Generation gossip (gossip.go): a process that retrains an engine (or
+//     grows its tile database) bumps that engine's state generation, which
+//     invalidates its *own* caches automatically — but a peer process
+//     serving the same model from its own cache has no idea. Nodes publish
+//     engine-generation changes to their peers over a small HTTP push/poll
+//     protocol (POST/GET /v2/cluster/generations); a node learning of a
+//     generation newer than the one its local engine reports drops that
+//     engine's cached forecasts, so no replica keeps serving a stale
+//     prediction after a retrain anywhere in the cluster.
+//
+//   - Shard-aware steering (steer.go): the consistent-hash ring that
+//     assigns (engine, GPU) keys to in-process shards is extended across
+//     the cluster: a membership ring over the member addresses assigns
+//     every key one owning process. A prediction request landing on the
+//     wrong process is steered to the owner — a 307 redirect by default,
+//     or a transparent proxy in proxy mode — so each key's cache,
+//     coalescing table, and trace profile concentrate on one process
+//     instead of being duplicated N ways. GET /v2/cluster/ring exposes the
+//     assignment; steered/redirected/proxied/mis-routed counters are
+//     exported to Prometheus.
+//
+// The Node deliberately does not import the serving layer: cache
+// invalidation is a callback (Config.Invalidate), and steering wraps any
+// http.Handler. cmd/neusight wires the two together.
+package cluster
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neusight/internal/predict"
+)
+
+// Steering modes for Config.Steer.
+const (
+	// SteerRedirect answers requests owned by a peer with a 307 redirect
+	// to the owner — the client re-sends the request there. The default:
+	// no double proxying, and clients learn the topology.
+	SteerRedirect = "redirect"
+	// SteerProxy forwards requests owned by a peer to the owner and relays
+	// the response — transparent to clients that cannot follow redirects.
+	SteerProxy = "proxy"
+	// SteerOff serves every request locally. Gossip still runs.
+	SteerOff = "off"
+)
+
+// DefaultPollInterval is the gossip cadence: how often a node checks its
+// local registry for generation changes (pushing on change) and polls its
+// peers for theirs. Invalidation latency is bounded by one interval even
+// when a push is lost.
+const DefaultPollInterval = 2 * time.Second
+
+// Config assembles a Node.
+type Config struct {
+	// Self is the address peers reach this process at ("host:port"). It is
+	// the node's identity on the membership ring and the address gossip
+	// messages advertise.
+	Self string
+	// Peers are the other members' addresses. The membership ring is built
+	// over Self + Peers; every member must be given the same set (modulo
+	// itself) or steering will mis-route.
+	Peers []string
+	// Steer selects the steering mode (SteerRedirect, SteerProxy,
+	// SteerOff). Empty means SteerRedirect.
+	Steer string
+	// PollInterval is the gossip cadence; zero means DefaultPollInterval.
+	PollInterval time.Duration
+	// Client issues outbound gossip and proxy requests; nil gets a client
+	// with a sane timeout.
+	Client *http.Client
+	// Registry is the local engine registry: the source of local engine
+	// generations and shard affinities.
+	Registry *predict.Registry
+	// DefaultEngine resolves requests that name no engine, mirroring the
+	// serving layer's default.
+	DefaultEngine string
+	// Invalidate drops the named engine's locally cached forecasts,
+	// returning how many entries were dropped (serve.Service.
+	// InvalidateEngine). Nil disables invalidation (gossip still tracked).
+	Invalidate func(engine string) int
+}
+
+// Node is one cluster member: the membership ring, the gossip state, and
+// the steering counters. Safe for concurrent use.
+type Node struct {
+	self       string
+	steerMode  string
+	interval   time.Duration
+	client     *http.Client
+	reg        *predict.Registry
+	def        string
+	invalidate func(string) int
+
+	// mu guards the membership: the peer list and the ring built over it.
+	mu    sync.RWMutex
+	peers []string
+	ring  []memberPoint
+
+	// instance identifies this process incarnation (random, nonzero) so
+	// peers can tell a counter bump from a restart (see OriginView).
+	instance uint64
+
+	// gmu guards known: the highest generation seen per (origin member,
+	// engine) — this node's own registry under its own address, peers'
+	// slices merged in by absorbed gossip. published is the last snapshot
+	// pushed, so pushes happen only on change.
+	gmu       sync.Mutex
+	known     map[string]*originState
+	published map[string]OriginView
+
+	// gossip counters
+	pushes         atomic.Uint64
+	pushFailures   atomic.Uint64
+	polls          atomic.Uint64
+	pollFailures   atomic.Uint64
+	absorbed       atomic.Uint64
+	invalidations  atomic.Uint64
+	droppedEntries atomic.Uint64
+	foreignOrigins atomic.Uint64
+
+	// steering counters
+	steered       atomic.Uint64
+	redirected    atomic.Uint64
+	proxied       atomic.Uint64
+	misrouted     atomic.Uint64
+	proxyFailures atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode validates cfg and builds the member ring. The node is inert
+// until Start (gossip) and Handler (steering) attach it to traffic.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self address is required")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: Registry is required")
+	}
+	mode := cfg.Steer
+	if mode == "" {
+		mode = SteerRedirect
+	}
+	switch mode {
+	case SteerRedirect, SteerProxy, SteerOff:
+	default:
+		return nil, fmt.Errorf("cluster: unknown steering mode %q (want %s, %s, or %s)",
+			cfg.Steer, SteerRedirect, SteerProxy, SteerOff)
+	}
+	interval := cfg.PollInterval
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	n := &Node{
+		self:       cfg.Self,
+		steerMode:  mode,
+		interval:   interval,
+		client:     client,
+		reg:        cfg.Registry,
+		def:        cfg.DefaultEngine,
+		invalidate: cfg.Invalidate,
+		instance:   newInstanceID(),
+		known:      map[string]*originState{},
+		published:  map[string]OriginView{},
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	n.SetPeers(cfg.Peers)
+	n.gmu.Lock()
+	n.refreshLocalLocked()
+	n.gmu.Unlock()
+	return n, nil
+}
+
+// Self returns the node's advertised address.
+func (n *Node) Self() string { return n.self }
+
+// Mode returns the steering mode.
+func (n *Node) Mode() string { return n.steerMode }
+
+// SetPeers replaces the peer set and rebuilds the membership ring. Keys
+// hash onto the ring by consistent hashing, so a joining or leaving peer
+// moves only the keys it gains or loses — everyone else's assignment is
+// untouched (see TestSetPeersRebalance).
+func (n *Node) SetPeers(peers []string) {
+	clean := make([]string, 0, len(peers))
+	seen := map[string]bool{n.self: true}
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		clean = append(clean, p)
+	}
+	sort.Strings(clean)
+	members := append([]string{n.self}, clean...)
+	ring := buildRing(members)
+	n.mu.Lock()
+	n.peers = clean
+	n.ring = ring
+	n.mu.Unlock()
+}
+
+// Peers returns the current peer addresses, sorted.
+func (n *Node) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]string(nil), n.peers...)
+}
+
+// isMember reports whether addr is in the current membership (self or a
+// configured peer).
+func (n *Node) isMember(addr string) bool {
+	if addr == n.self {
+		return true
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, p := range n.peers {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// newInstanceID draws the nonzero random identity of this process
+// incarnation. Collisions across restarts would re-mask a retrain, so it
+// uses the CSPRNG with a time-based fallback.
+func newInstanceID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// Members returns every member address (self included), sorted.
+func (n *Node) Members() []string {
+	members := append(n.Peers(), n.self)
+	sort.Strings(members)
+	return members
+}
+
+// memberReplicas is how many virtual points each member contributes to the
+// membership ring — the same smoothing trade-off as the in-process shard
+// ring (internal/serve/shard.go).
+const memberReplicas = 64
+
+// memberPoint is one virtual node on the membership ring.
+type memberPoint struct {
+	hash uint64
+	addr string
+}
+
+// buildRing hashes every member onto the ring, memberReplicas points each.
+func buildRing(members []string) []memberPoint {
+	ring := make([]memberPoint, 0, len(members)*memberReplicas)
+	for _, m := range members {
+		for v := 0; v < memberReplicas; v++ {
+			ring = append(ring, memberPoint{hash: hash64(fmt.Sprintf("member-%s-%d", m, v)), addr: m})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	return ring
+}
+
+// hash64 is the ring hash: FNV-1a finished with a 64-bit avalanche mix.
+// Member addresses differ in only a character or two ("host:8081" vs
+// "host:8082"), and raw FNV over such near-identical strings clusters —
+// one member's 64 virtual points can blanket whole arcs of the ring,
+// starving the others. The MurmurHash3 finalizer decorrelates them; every
+// member must use the identical function or steering mis-routes.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner resolves which member owns the (engine, GPU) key: the engine's
+// shard-affinity (falling back to its name when unregistered — the serving
+// layer will reject the request anyway) joined with the canonical GPU
+// name, hashed onto the membership ring. local reports whether this node
+// is the owner. With no peers every key is local.
+func (n *Node) Owner(engine, gpuName string) (addr string, local bool) {
+	if engine == "" {
+		engine = n.def
+	}
+	affinity := engine
+	if eng, err := n.reg.Get(engine); err == nil {
+		affinity = predict.ShardAffinity(eng)
+	}
+	n.mu.RLock()
+	ring := n.ring
+	n.mu.RUnlock()
+	if len(ring) == 0 {
+		return n.self, true
+	}
+	h := hash64(affinity + "|" + gpuName)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
+		i = 0 // wrap: the ring is circular
+	}
+	addr = ring[i].addr
+	return addr, addr == n.self
+}
+
+// Start launches the gossip loop: every PollInterval the node snapshots
+// its local registry, pushes to every peer when something changed, and
+// polls every peer for their view. Stop ends it.
+func (n *Node) Start() {
+	go func() {
+		defer close(n.done)
+		ticker := time.NewTicker(n.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-ticker.C:
+				n.SyncNow()
+			}
+		}
+	}()
+}
+
+// Stop ends the gossip loop started by Start and waits for it to exit.
+// Safe to call once; a node that was never started must not call Stop.
+func (n *Node) Stop() {
+	close(n.stop)
+	<-n.done
+}

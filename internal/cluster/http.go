@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"neusight/internal/gpu"
+)
+
+// Cluster control routes. They live under /v2 because they are part of the
+// versioned API surface (and the docs gate in scripts/check.sh derives the
+// route list from these literals — new routes must be documented in
+// docs/API.md).
+const (
+	// RouteGenerations is the gossip endpoint: GET returns this node's
+	// cluster-wide generation view, POST absorbs a peer's push.
+	RouteGenerations = "/v2/cluster/generations"
+	// RouteRing is the membership endpoint: GET returns the member set and
+	// the (engine, GPU) -> owner assignment.
+	RouteRing = "/v2/cluster/ring"
+)
+
+// maxControlBody caps gossip request/response bodies: a generation map
+// over a few dozen engines is a few hundred bytes, so anything beyond a
+// handful of KiB is garbage.
+const maxControlBody = 64 << 10
+
+// GenerationsResponse is the JSON reply of GET /v2/cluster/generations:
+// the node's view plus the gossip counters.
+type GenerationsResponse struct {
+	GenMessage
+	Gossip GossipStats `json:"gossip"`
+}
+
+// RingAssignment is one (engine, GPU) key's owner on GET /v2/cluster/ring.
+type RingAssignment struct {
+	Engine string `json:"engine"`
+	GPU    string `json:"gpu"`
+	Owner  string `json:"owner"`
+	Local  bool   `json:"local"`
+}
+
+// RingResponse is the JSON reply of GET /v2/cluster/ring: the membership,
+// the steering mode and counters, and the full assignment of every
+// registered (engine, GPU) pair to its owning member.
+type RingResponse struct {
+	Self        string           `json:"self"`
+	Mode        string           `json:"mode"`
+	Members     []string         `json:"members"`
+	Steering    SteerStats       `json:"steering"`
+	Assignments []RingAssignment `json:"assignments"`
+}
+
+// handleGenerations serves the gossip endpoint.
+func (n *Node) handleGenerations(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, GenerationsResponse{GenMessage: n.Snapshot(), Gossip: n.GossipStats()})
+	case http.MethodPost:
+		var msg GenMessage
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxControlBody)).Decode(&msg); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		invalidated := n.Absorb(msg)
+		writeJSON(w, http.StatusOK, map[string]int{"invalidated": invalidated})
+	default:
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// handleRing serves the membership endpoint: every registered engine
+// crossed with every registered GPU, each resolved to its owner.
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := RingResponse{Self: n.self, Mode: n.steerMode, Members: n.Members(), Steering: n.SteerStats()}
+	for _, engine := range n.reg.List() {
+		for _, g := range gpu.All() {
+			owner, local := n.Owner(engine, g.Name)
+			resp.Assignments = append(resp.Assignments, RingAssignment{
+				Engine: engine, GPU: g.Name, Owner: owner, Local: local,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Handler wraps the serving API with the cluster layer: the control
+// routes are served here, prediction POSTs are steered to their shard
+// owner, /metrics gets the cluster families appended, and everything else
+// passes through untouched.
+func (n *Node) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case RouteGenerations:
+			n.handleGenerations(w, r)
+			return
+		case RouteRing:
+			n.handleRing(w, r)
+			return
+		case "/metrics":
+			// The serving layer writes its families, then the cluster
+			// families are appended — text exposition format concatenates.
+			next.ServeHTTP(w, r)
+			n.WriteMetrics(w)
+			return
+		}
+		if r.Method == http.MethodPost && isPredictPath(r.URL.Path) {
+			n.steer(w, r, next)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ControlHandler serves only the cluster control routes — for a
+// -cluster-listen deployment that keeps the peer plane on an internal
+// port while the public API listener omits nothing (the main Handler
+// serves the control routes too).
+func (n *Node) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(RouteGenerations, n.handleGenerations)
+	mux.HandleFunc(RouteRing, n.handleRing)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

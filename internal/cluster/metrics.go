@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// clusterMetric is one exported sample in Prometheus text format.
+type clusterMetric struct {
+	name  string
+	help  string
+	typ   string
+	value float64
+}
+
+// WriteMetrics renders the cluster counters in Prometheus text exposition
+// format. The serving layer's /metrics handler output is a concatenation
+// of families, so the cluster families are simply appended after it (see
+// Handler).
+func (n *Node) WriteMetrics(w io.Writer) error {
+	gs := n.GossipStats()
+	ss := n.SteerStats()
+	for _, m := range []clusterMetric{
+		{"neusight_cluster_peers", "Peer processes this node gossips with.", "gauge", float64(len(n.Peers()))},
+		{"neusight_cluster_steered_total", "Prediction requests steered to their shard owner (redirected plus proxied).", "counter", float64(ss.Steered)},
+		{"neusight_cluster_redirected_total", "Prediction requests answered with a 307 redirect to the shard owner.", "counter", float64(ss.Redirected)},
+		{"neusight_cluster_proxied_total", "Prediction requests transparently proxied to the shard owner.", "counter", float64(ss.Proxied)},
+		{"neusight_cluster_misrouted_total", "Steered requests arriving at a non-owner (ring disagreement); served locally.", "counter", float64(ss.Misrouted)},
+		{"neusight_cluster_proxy_failures_total", "Proxied requests that failed to reach the shard owner (returned 502).", "counter", float64(ss.ProxyFailures)},
+		{"neusight_cluster_gossip_pushes_total", "Generation snapshots pushed to peers.", "counter", float64(gs.Pushes)},
+		{"neusight_cluster_gossip_push_failures_total", "Generation pushes that failed to reach a peer.", "counter", float64(gs.PushFailures)},
+		{"neusight_cluster_gossip_polls_total", "Peer generation views polled.", "counter", float64(gs.Polls)},
+		{"neusight_cluster_gossip_poll_failures_total", "Peer polls that failed.", "counter", float64(gs.PollFailures)},
+		{"neusight_cluster_gossip_absorbed_total", "Peer generation views absorbed (pushes received plus poll replies).", "counter", float64(gs.Absorbed)},
+		{"neusight_cluster_invalidations_total", "Engines whose cached forecasts were dropped on a newer peer generation.", "counter", float64(gs.Invalidations)},
+		{"neusight_cluster_invalidated_entries_total", "Cache entries dropped by cluster generation invalidations.", "counter", float64(gs.DroppedEntries)},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"neusight/internal/gpu"
+)
+
+// steerHeader marks a proxied request so the receiving node serves it
+// locally instead of steering again — membership disagreement between two
+// nodes must degrade to one extra hop, never a loop. Its value is the
+// address of the node that forwarded the request.
+const steerHeader = "X-Neusight-Steered"
+
+// steerParam is the redirect-mode equivalent: a client following a 307
+// carries the query parameter to the owner, which then always serves
+// locally (redirects cannot attach headers to the client's next request).
+const steerParam = "steered"
+
+// maxSteerBody caps how much of a request body the steering layer buffers
+// to read the routing fields — the same 1 MiB the serving layer enforces,
+// so steering never accepts more than serving would.
+const maxSteerBody = 1 << 20
+
+// steerHint is the slice of a prediction request body steering needs:
+// every /v1 and /v2 predict body carries the target GPU and (v2) an
+// optional engine at the top level.
+type steerHint struct {
+	Engine string `json:"engine"`
+	GPU    string `json:"gpu"`
+}
+
+// isPredictPath reports whether path is a prediction endpoint — the only
+// traffic steering applies to. Stats, metrics, and control routes are
+// always served locally.
+func isPredictPath(path string) bool {
+	return strings.HasPrefix(path, "/v1/predict/") || strings.HasPrefix(path, "/v2/predict/")
+}
+
+// alreadySteered reports whether r arrived via a steer (proxy header or
+// redirect query parameter).
+func alreadySteered(r *http.Request) bool {
+	return r.Header.Get(steerHeader) != "" || r.URL.Query().Get(steerParam) == "1"
+}
+
+// steer routes one prediction request: requests whose (engine, GPU) key
+// this node owns — and requests that were already steered here — are
+// served by next; the rest are redirected or proxied to the owner
+// according to the steering mode. The request body is buffered (bounded)
+// to read the routing fields and restored for whoever serves it;
+// malformed bodies are served locally so the serving layer produces its
+// ordinary 400.
+func (n *Node) steer(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	if n.steerMode == SteerOff || len(n.Peers()) == 0 {
+		next.ServeHTTP(w, r)
+		return
+	}
+
+	buf, err := io.ReadAll(io.LimitReader(r.Body, maxSteerBody+1))
+	rest := r.Body // unread remainder of an over-limit body
+	r.Body = readCloser{io.MultiReader(bytes.NewReader(buf), rest), rest}
+	if err != nil || len(buf) > maxSteerBody {
+		// Unreadable or oversized: the serving layer's body cap produces
+		// the right client-facing error.
+		next.ServeHTTP(w, r)
+		return
+	}
+
+	var hint steerHint
+	if json.Unmarshal(buf, &hint) != nil {
+		next.ServeHTTP(w, r) // bad JSON: serve locally for the ordinary 400
+		return
+	}
+	g, gerr := gpu.Lookup(hint.GPU)
+	if gerr != nil {
+		next.ServeHTTP(w, r) // unknown GPU: serve locally for the ordinary 400
+		return
+	}
+
+	owner, local := n.Owner(hint.Engine, g.Name)
+	switch {
+	case local:
+		next.ServeHTTP(w, r)
+	case alreadySteered(r):
+		// A steered request we do not own: two nodes disagree about the
+		// ring (peer lists drifted, a member is joining). Serve it locally
+		// — correctness does not depend on ownership, only cache locality
+		// does — and count the disagreement.
+		n.misrouted.Add(1)
+		next.ServeHTTP(w, r)
+	case n.steerMode == SteerProxy:
+		n.steered.Add(1)
+		n.proxyTo(w, r, owner, buf)
+	default:
+		n.steered.Add(1)
+		n.redirectTo(w, r, owner)
+	}
+}
+
+// readCloser pairs a replacement body reader with the original closer.
+type readCloser struct {
+	io.Reader
+	io.Closer
+}
+
+// redirectTo answers with a 307 to the owner. 307 preserves the method and
+// body, so the client re-POSTs the identical request; the steered query
+// parameter stops the owner from redirecting onward if its ring disagrees.
+func (n *Node) redirectTo(w http.ResponseWriter, r *http.Request, owner string) {
+	n.redirected.Add(1)
+	q := r.URL.Query()
+	q.Set(steerParam, "1")
+	u := url.URL{Scheme: "http", Host: owner, Path: r.URL.Path, RawQuery: q.Encode()}
+	http.Redirect(w, r, u.String(), http.StatusTemporaryRedirect)
+}
+
+// proxyTo forwards the buffered request to the owner and relays the
+// response verbatim. An unreachable owner is a 502 — the client can retry
+// (and a retry may be served locally once gossip repairs the peer list).
+func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	u := url.URL{Scheme: "http", Host: owner, Path: r.URL.Path, RawQuery: r.URL.RawQuery}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		n.proxyFailures.Add(1)
+		writeJSONError(w, http.StatusBadGateway, "cluster: building proxy request: "+err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(steerHeader, n.self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.proxyFailures.Add(1)
+		writeJSONError(w, http.StatusBadGateway, "cluster: shard owner "+owner+" unreachable: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	n.proxied.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// SteerStats is a snapshot of the steering counters, exposed on
+// /v2/cluster/ring.
+type SteerStats struct {
+	Steered       uint64 `json:"steered"`
+	Redirected    uint64 `json:"redirected"`
+	Proxied       uint64 `json:"proxied"`
+	Misrouted     uint64 `json:"misrouted"`
+	ProxyFailures uint64 `json:"proxy_failures"`
+}
+
+// SteerStats returns the current steering counters.
+func (n *Node) SteerStats() SteerStats {
+	return SteerStats{
+		Steered:       n.steered.Load(),
+		Redirected:    n.redirected.Load(),
+		Proxied:       n.proxied.Load(),
+		Misrouted:     n.misrouted.Load(),
+		ProxyFailures: n.proxyFailures.Load(),
+	}
+}

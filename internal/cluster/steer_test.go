@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+)
+
+// gpuOwnedBy finds a registered GPU whose (alpha, GPU) key the given
+// member owns, from n's view of the ring.
+func gpuOwnedBy(t *testing.T, n *Node, owner string) gpu.Spec {
+	t.Helper()
+	for _, g := range gpu.All() {
+		if got, _ := n.Owner("alpha", g.Name); got == owner {
+			return g
+		}
+	}
+	t.Fatalf("no registered GPU hashes to member %s — ring degenerate", owner)
+	return gpu.Spec{}
+}
+
+// kernelBody builds a /v2/predict/kernel request for g.
+func kernelBody(g gpu.Spec) string {
+	return fmt.Sprintf(`{"op":"bmm","b":2,"m":64,"k":64,"n":64,"gpu":%q,"engine":"alpha"}`, g.Name)
+}
+
+// postKernel POSTs a kernel prediction and decodes the latency.
+func postKernel(t *testing.T, client *http.Client, target string, g gpu.Spec) (float64, int) {
+	t.Helper()
+	resp, err := client.Post(target, "application/json", strings.NewReader(kernelBody(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		LatencyMs float64 `json:"latency_ms"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.LatencyMs, resp.StatusCode
+}
+
+// noFollow is a client that surfaces redirects instead of following them.
+func noFollow() *http.Client {
+	return &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+}
+
+// TestRedirectSteering: a request for a peer-owned shard gets a 307 to
+// the owner carrying the steered marker; a redirect-following client ends
+// up served by the owner.
+func TestRedirectSteering(t *testing.T) {
+	a, b := twoProcs(t, SteerRedirect)
+	gB := gpuOwnedBy(t, a.node, b.addr)
+
+	resp, err := noFollow().Post("http://"+a.addr+"/v2/predict/kernel", "application/json",
+		strings.NewReader(kernelBody(gB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status = %d, want 307", resp.StatusCode)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Host != b.addr {
+		t.Fatalf("redirect host = %s, want owner %s", loc.Host, b.addr)
+	}
+	if loc.Path != "/v2/predict/kernel" || loc.Query().Get(steerParam) != "1" {
+		t.Fatalf("redirect location = %s, want same path with %s=1", loc, steerParam)
+	}
+
+	// A following client lands on B (latency 2). Go re-POSTs the body on
+	// 307 automatically.
+	lat, code := postKernel(t, &http.Client{}, "http://"+a.addr+"/v2/predict/kernel", gB)
+	if code != http.StatusOK || lat != 2 {
+		t.Fatalf("followed redirect = (%v, %d), want latency 2 from B", lat, code)
+	}
+	if b.eng.calls.Load() == 0 {
+		t.Fatal("owner's engine was never evaluated")
+	}
+	st := a.node.SteerStats()
+	if st.Steered != 2 || st.Redirected != 2 {
+		t.Fatalf("A steering stats = %+v, want 2 steered/redirected (one unfollowed, one followed)", st)
+	}
+}
+
+// TestProxySteering: in proxy mode the non-owner forwards the request and
+// relays the owner's answer — the client never sees a redirect.
+func TestProxySteering(t *testing.T) {
+	a, b := twoProcs(t, SteerProxy)
+	gB := gpuOwnedBy(t, a.node, b.addr)
+
+	lat, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gB)
+	if code != http.StatusOK || lat != 2 {
+		t.Fatalf("proxied = (%v, %d), want latency 2 from B with no redirect", lat, code)
+	}
+	if a.eng.calls.Load() != 0 {
+		t.Fatal("non-owner must not evaluate a proxied request")
+	}
+	st := a.node.SteerStats()
+	if st.Steered != 1 || st.Proxied != 1 || st.Redirected != 0 {
+		t.Fatalf("A steering stats = %+v, want 1 steered/proxied", st)
+	}
+	// The owner saw a steered request it owns: not a mis-route.
+	if bst := b.node.SteerStats(); bst.Misrouted != 0 {
+		t.Fatalf("B steering stats = %+v, want 0 misrouted", bst)
+	}
+}
+
+// TestLocallyOwnedNotSteered: requests for keys this process owns are
+// served in place, whatever the mode.
+func TestLocallyOwnedNotSteered(t *testing.T) {
+	a, b := twoProcs(t, SteerRedirect)
+	_ = b
+	gA := gpuOwnedBy(t, a.node, a.addr)
+	lat, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gA)
+	if code != http.StatusOK || lat != 1 {
+		t.Fatalf("local key = (%v, %d), want latency 1 served by A", lat, code)
+	}
+	if st := a.node.SteerStats(); st.Steered != 0 {
+		t.Fatalf("A steering stats = %+v, want nothing steered", st)
+	}
+}
+
+// TestMisroutedServedLocally: a request that already carries the steered
+// marker is served where it lands — counted as a ring disagreement, never
+// bounced again.
+func TestMisroutedServedLocally(t *testing.T) {
+	a, b := twoProcs(t, SteerRedirect)
+	gB := gpuOwnedBy(t, a.node, b.addr)
+
+	lat, code := postKernel(t, noFollow(),
+		"http://"+a.addr+"/v2/predict/kernel?"+steerParam+"=1", gB)
+	if code != http.StatusOK || lat != 1 {
+		t.Fatalf("misrouted = (%v, %d), want latency 1 served locally by A", lat, code)
+	}
+	st := a.node.SteerStats()
+	if st.Misrouted != 1 || st.Steered != 0 {
+		t.Fatalf("A steering stats = %+v, want 1 misrouted, 0 steered", st)
+	}
+}
+
+// TestSteerOff: off mode serves everything locally, peers or not.
+func TestSteerOff(t *testing.T) {
+	a, b := twoProcs(t, SteerOff)
+	gB := gpuOwnedBy(t, a.node, b.addr)
+	lat, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gB)
+	if code != http.StatusOK || lat != 1 {
+		t.Fatalf("steer=off = (%v, %d), want latency 1 served locally", lat, code)
+	}
+}
+
+// TestSteeringPassesBadBodiesThrough: requests steering cannot parse go
+// to the local serving layer for its ordinary client errors.
+func TestSteeringPassesBadBodiesThrough(t *testing.T) {
+	a, _ := twoProcs(t, SteerRedirect)
+	resp, err := http.Post("http://"+a.addr+"/v2/predict/kernel", "application/json",
+		strings.NewReader(`{"op":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400 from the serving layer", resp.StatusCode)
+	}
+	resp, err = http.Post("http://"+a.addr+"/v2/predict/kernel", "application/json",
+		strings.NewReader(`{"op":"bmm","b":2,"m":64,"k":64,"n":64,"gpu":"NoSuchGPU"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown GPU = %d, want 400 from the serving layer", resp.StatusCode)
+	}
+}
+
+// TestProxyOwnerUnreachable: an unreachable owner is a 502 with the
+// failure counted — not a hang, not a silent local answer.
+func TestProxyOwnerUnreachable(t *testing.T) {
+	a := startProc(t, 1, SteerProxy)
+	// A peer that is not listening: port 1 on localhost.
+	dead := "127.0.0.1:1"
+	a.node.SetPeers([]string{dead})
+	gDead := gpuOwnedBy(t, a.node, dead)
+	_, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gDead)
+	if code != http.StatusBadGateway {
+		t.Fatalf("unreachable owner = %d, want 502", code)
+	}
+	if st := a.node.SteerStats(); st.ProxyFailures != 1 {
+		t.Fatalf("A steering stats = %+v, want 1 proxy failure", st)
+	}
+}
+
+// TestRingEndpoint: /v2/cluster/ring exposes the membership and a full
+// (engine, GPU) -> owner assignment both members agree on.
+func TestRingEndpoint(t *testing.T) {
+	a, b := twoProcs(t, SteerRedirect)
+
+	fetch := func(addr string) RingResponse {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + RouteRing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET ring = %d, want 200", resp.StatusCode)
+		}
+		var rr RingResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	ra, rb := fetch(a.addr), fetch(b.addr)
+	if ra.Self != a.addr || ra.Mode != SteerRedirect {
+		t.Fatalf("ring self/mode = %s/%s, want %s/%s", ra.Self, ra.Mode, a.addr, SteerRedirect)
+	}
+	if len(ra.Members) != 2 {
+		t.Fatalf("members = %v, want both processes", ra.Members)
+	}
+	want := len(gpu.All()) // one engine registered
+	if len(ra.Assignments) != want {
+		t.Fatalf("assignments = %d, want %d (engines x GPUs)", len(ra.Assignments), want)
+	}
+	owners := map[string]string{}
+	for _, as := range ra.Assignments {
+		if as.Owner != a.addr && as.Owner != b.addr {
+			t.Fatalf("assignment %+v names a non-member owner", as)
+		}
+		if as.Local != (as.Owner == a.addr) {
+			t.Fatalf("assignment %+v: local flag disagrees with owner", as)
+		}
+		owners[as.Engine+"|"+as.GPU] = as.Owner
+	}
+	for _, as := range rb.Assignments {
+		if owners[as.Engine+"|"+as.GPU] != as.Owner {
+			t.Fatalf("A and B disagree on owner of %s|%s", as.Engine, as.GPU)
+		}
+	}
+}
+
+// TestControlHandlerServesOnlyClusterRoutes pins the -cluster-listen
+// surface: control routes answer, the prediction API does not exist there.
+func TestControlHandlerServesOnlyClusterRoutes(t *testing.T) {
+	a, _ := twoProcs(t, SteerOff)
+	h := a.node.ControlHandler()
+	for path, want := range map[string]int{
+		RouteRing:          http.StatusOK,
+		RouteGenerations:   http.StatusOK,
+		"/v2/predict/何か":   http.StatusNotFound,
+		"/v1/predict/kern": http.StatusNotFound,
+	} {
+		req, _ := http.NewRequest(http.MethodGet, "http://x"+path, nil)
+		rec := newRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.code != want {
+			t.Errorf("control %s = %d, want %d", path, rec.code, want)
+		}
+	}
+}
+
+// newRecorder is a minimal ResponseWriter capturing the status code.
+type recorder struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: http.Header{}} }
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(c int)   { r.code = c }
+func (r *recorder) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}
+
+// TestClusterEndToEnd is the acceptance scenario: two peered serve
+// processes with background gossip running — a retrain on A invalidates
+// B's stale cached prediction within a gossip interval, and a request for
+// a B-owned shard sent to A is steered to B.
+func TestClusterEndToEnd(t *testing.T) {
+	a, b := twoProcs(t, SteerRedirect)
+	a.node.Start()
+	b.node.Start()
+	t.Cleanup(a.node.Stop)
+	t.Cleanup(b.node.Stop)
+
+	// Steering: the request lands on A, is steered to B, and B answers.
+	gB := gpuOwnedBy(t, a.node, b.addr)
+	lat, code := postKernel(t, &http.Client{}, "http://"+a.addr+"/v2/predict/kernel", gB)
+	if code != http.StatusOK || lat != 2 {
+		t.Fatalf("steered request = (%v, %d), want B's latency 2", lat, code)
+	}
+	if st := a.node.SteerStats(); st.Redirected == 0 {
+		t.Fatalf("A steering stats = %+v, want a redirect", st)
+	}
+
+	// Gossip: B caches, the model drifts, A retrains — the background loop
+	// must invalidate B without any explicit sync call.
+	k := kernels.NewBMM(4, 128, 128, 128)
+	if lat, err := b.svc.PredictKernel(k, gB); err != nil || lat != 2 {
+		t.Fatalf("B cold = (%v, %v)", lat, err)
+	}
+	b.eng.lat.Store(42.0)
+	a.eng.gen.Store(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if lat, _ := b.svc.PredictKernel(k, gB); lat == 42 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("B still serving the stale forecast after %v of background gossip", 10*time.Second)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -143,6 +143,7 @@ func (s *Service) predictMany(ctx context.Context, es *engineState, ks []kernels
 		}
 		if v, ok := p.cache.Get(key); ok {
 			es.cacheHits.Add(1)
+			s.touchTrace(es.name, k, g)
 			outs[i].Result = v
 			continue
 		}

@@ -278,12 +278,14 @@ type EnginesResponse struct {
 
 // StatsV2 is the JSON reply of GET /v2/stats: the aggregate counters plus
 // one entry per engine traffic has touched, one entry per shard when the
-// service is sharded, and the last cache-warmup report when one ran.
+// service is sharded, the last cache-warmup report when one ran, and the
+// trace-compaction state when a compacting recorder is attached.
 type StatsV2 struct {
 	Stats
-	Engines []EngineStats `json:"engines"`
-	Shards  []ShardStats  `json:"shards,omitempty"`
-	Warmup  *WarmupStats  `json:"warmup,omitempty"`
+	Engines         []EngineStats    `json:"engines"`
+	Shards          []ShardStats     `json:"shards,omitempty"`
+	Warmup          *WarmupStats     `json:"warmup,omitempty"`
+	TraceCompaction *TraceCompaction `json:"trace_compaction,omitempty"`
 }
 
 // predictErrorCode classifies a Predict*Engine error for HTTP: naming an
@@ -554,10 +556,11 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v2/engines", handleEngines(s))
 	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsV2{
-			Stats:   s.Stats(),
-			Engines: s.EngineStats(),
-			Shards:  s.Shards(),
-			Warmup:  s.Warmup(),
+			Stats:           s.Stats(),
+			Engines:         s.EngineStats(),
+			Shards:          s.Shards(),
+			Warmup:          s.Warmup(),
+			TraceCompaction: s.TraceCompaction(),
 		})
 	})
 	healthz := func(w http.ResponseWriter, r *http.Request) {

@@ -131,8 +131,12 @@ type Service struct {
 	epoch      atomic.Uint64
 	// recorder, when set, appends every newly served key to a workload
 	// trace; warmup holds the report of the last trace replay (trace.go).
+	// warming is true while WarmFromTrace replays — replay traffic must not
+	// count as "requested" for trace compaction (warmup runs before the
+	// listener opens, so it never overlaps live traffic).
 	recorder atomic.Pointer[TraceRecorder]
 	warmup   atomic.Pointer[WarmupStats]
+	warming  atomic.Bool
 
 	emu     sync.RWMutex
 	engines map[string]*engineState
@@ -361,6 +365,27 @@ func (s *Service) FlushCache() {
 	}
 }
 
+// InvalidateEngine drops every cached forecast of the engine named name
+// from every partition, returning how many entries were dropped. It is
+// the cluster layer's invalidation hook: a peer process reporting a newer
+// state generation for this engine means locally cached forecasts may be
+// stale even though the local engine's own generation — the one cache
+// keys fold in — never moved. An engine no traffic has touched has
+// nothing cached and drops zero.
+func (s *Service) InvalidateEngine(name string) int {
+	s.emu.RLock()
+	es, ok := s.engines[name]
+	s.emu.RUnlock()
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, p := range s.partitions() {
+		n += p.cache.DropPrefix(es.prefix)
+	}
+	return n
+}
+
 // PredictKernel forecasts the latency of kernel k on device g in
 // milliseconds with the default engine, serving from cache when possible
 // and coalescing concurrent identical requests. It is safe for arbitrary
@@ -427,6 +452,7 @@ func (s *Service) predictOne(ctx context.Context, es *engineState, k kernels.Ker
 	key := es.key(k, g)
 	if v, ok := p.cache.Get(key); ok {
 		es.cacheHits.Add(1)
+		s.touchTrace(es.name, k, g)
 		return v, nil
 	}
 	es.cacheMisses.Add(1)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,39 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/predict"
 )
+
+// TestInvalidateEngine pins the cluster layer's invalidation hook: only
+// the named engine's cached forecasts drop, in both partition layouts.
+func TestInvalidateEngine(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		reg := predict.NewRegistry()
+		reg.MustRegister(constEngine("alpha", 1))
+		reg.MustRegister(constEngine("beta", 2))
+		svc := NewMulti(reg, "alpha", Config{CacheSize: 64, Shards: shards})
+		g := gpu.MustLookup("V100")
+		k := kernels.NewBMM(2, 64, 64, 64)
+		ctx := context.Background()
+		svc.PredictKernelEngine(ctx, "alpha", k, g)
+		svc.PredictKernelEngine(ctx, "beta", k, g)
+
+		if n := svc.InvalidateEngine("ghost"); n != 0 {
+			t.Errorf("shards=%d: invalidating an unknown engine dropped %d", shards, n)
+		}
+		if n := svc.InvalidateEngine("alpha"); n != 1 {
+			t.Errorf("shards=%d: InvalidateEngine(alpha) = %d, want 1", shards, n)
+		}
+		if st := svc.Stats(); st.CacheLen != 1 {
+			t.Errorf("shards=%d: cache len after invalidate = %d, want beta's 1 entry untouched", shards, st.CacheLen)
+		}
+		// alpha refills on the next request; beta was never disturbed.
+		missesBefore := svc.Stats().CacheMisses
+		svc.PredictKernelEngine(ctx, "alpha", k, g)
+		svc.PredictKernelEngine(ctx, "beta", k, g)
+		if misses := svc.Stats().CacheMisses - missesBefore; misses != 1 {
+			t.Errorf("shards=%d: misses after invalidate = %d, want 1 (alpha only)", shards, misses)
+		}
+	}
+}
 
 // stubPredictor is a deterministic backend that counts calls, tracks its
 // maximum observed concurrency, and can hold every call on a gate so tests

@@ -28,6 +28,11 @@ type TraceEntry struct {
 	N      int    `json:"n,omitempty"`
 	DType  string `json:"dtype,omitempty"`
 
+	// Idle counts completed replays (process runs) since the key was last
+	// requested — maintained only by compacting recorders, which age it on
+	// close and drop entries whose idle count reaches the bound.
+	Idle int `json:"idle,omitempty"`
+
 	Fused      bool     `json:"fused,omitempty"`
 	FusedFLOPs float64  `json:"fused_flops,omitempty"`
 	FusedBytes float64  `json:"fused_bytes,omitempty"`
@@ -92,19 +97,50 @@ func (e TraceEntry) Kernel() (kernels.Kernel, error) {
 // (counted, not silently).
 const maxTraceKeys = 1 << 16
 
+// entryKey fingerprints a trace entry the way the recorder deduplicates
+// and the compactor matches requests: engine, kernel label, GPU.
+func entryKey(engine, kernelLabel, gpuName string) string {
+	return engine + "|" + kernelLabel + "@" + gpuName
+}
+
+// compactEntry is one loaded trace entry a compacting recorder tracks:
+// the parsed entry plus its dedup key, so end-of-run aging can match it
+// against the keys requested this run.
+type compactEntry struct {
+	key string
+	e   TraceEntry
+}
+
 // TraceRecorder appends the unique keys a service serves to a JSONL
 // workload trace — the persistent profile a later process replays to warm
 // its caches (see Service.WarmFromTrace). Records happen on the cache-fill
 // path (first successful serve of a key), so steady-state cache hits cost
 // nothing; an in-memory set deduplicates refills after LRU eviction. Safe
 // for concurrent use.
+//
+// A compacting recorder (NewTraceRecorderCompact) additionally ages the
+// trace: keys not requested within the last compactAfter replays are
+// dropped, so a trace that has accumulated keys from workloads nobody
+// runs anymore stops re-warming them forever. Aging happens at the run
+// boundaries — entries past the idle bound are pruned when the recorder
+// opens, every key requested during the run is tracked (cache hits
+// included, via Touch), and Close rewrites the trace with idle counts
+// aged one replay.
 type TraceRecorder struct {
 	mu      sync.Mutex
+	path    string
 	f       *os.File
 	bw      *bufio.Writer
 	seen    map[string]struct{}
 	dropped uint64 // novel keys not recorded (dedup set full or write error)
 	err     error  // first write error; recording stops permanently
+
+	// Compaction state, populated only when compactAfter > 0.
+	compactAfter int
+	loaded       []compactEntry      // entries carried over from the file
+	agedOut      int                 // entries pruned at open (idle >= bound, duplicate, unreplayable)
+	touched      map[string]struct{} // keys requested this run
+	fresh        []TraceEntry        // keys newly recorded this run
 }
 
 // NewTraceRecorder opens (creating or appending to) the trace at path.
@@ -113,29 +149,90 @@ type TraceRecorder struct {
 // the trace with duplicates across restarts (an LRU eviction + refill
 // would otherwise re-append every key each run).
 func NewTraceRecorder(path string) (*TraceRecorder, error) {
-	seen := map[string]struct{}{}
+	return newTraceRecorder(path, 0)
+}
+
+// NewTraceRecorderCompact is NewTraceRecorder with trace compaction: keys
+// not requested within the last compactAfter replays (process runs) age
+// out of the trace. Entries already past the bound — or unreplayable in
+// this build — are pruned immediately and the pruned file written back, so
+// the compaction survives even a run that never closes cleanly.
+func NewTraceRecorderCompact(path string, compactAfter int) (*TraceRecorder, error) {
+	if compactAfter <= 0 {
+		return nil, fmt.Errorf("serve: trace compaction bound must be positive, got %d", compactAfter)
+	}
+	return newTraceRecorder(path, compactAfter)
+}
+
+func newTraceRecorder(path string, compactAfter int) (*TraceRecorder, error) {
+	r := &TraceRecorder{path: path, compactAfter: compactAfter, seen: map[string]struct{}{}}
+	if compactAfter > 0 {
+		r.touched = map[string]struct{}{}
+	}
 	if entries, _, err := ReadTrace(path); err == nil {
 		for _, e := range entries {
 			k, kerr := e.Kernel()
 			if kerr != nil {
+				if compactAfter > 0 {
+					r.agedOut++ // unreplayable in this build: compact away
+				}
 				continue
 			}
-			seen[e.Engine+"|"+k.Label()+"@"+e.GPU] = struct{}{}
+			key := entryKey(e.Engine, k.Label(), e.GPU)
+			if _, dup := r.seen[key]; dup {
+				if compactAfter > 0 {
+					r.agedOut++ // duplicate from a pre-dedup writer
+				}
+				continue
+			}
+			if compactAfter > 0 && e.Idle >= compactAfter {
+				r.agedOut++
+				continue
+			}
+			r.seen[key] = struct{}{}
+			if compactAfter > 0 {
+				r.loaded = append(r.loaded, compactEntry{key: key, e: e})
+			}
+		}
+	}
+	if r.agedOut > 0 {
+		// Write the pruned file back now, not at Close: the aged keys must
+		// not resurrect if this run is killed before a clean shutdown.
+		kept := make([]TraceEntry, len(r.loaded))
+		for i, ce := range r.loaded {
+			kept[i] = ce.e
+		}
+		if err := writeTraceFile(path, kept); err != nil {
+			return nil, err
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open trace: %w", err)
 	}
-	return &TraceRecorder{f: f, bw: bufio.NewWriter(f), seen: seen}, nil
+	r.f, r.bw = f, bufio.NewWriter(f)
+	return r, nil
 }
 
 // Record appends the (engine, kernel, GPU) key if it has not been recorded
-// by this recorder before.
+// by this recorder before. For compacting recorders it also marks the key
+// requested — a refill after LRU eviction is a request like any other.
 func (r *TraceRecorder) Record(engine string, k kernels.Kernel, g gpu.Spec) {
-	key := engine + "|" + k.Label() + "@" + g.Name
+	r.record(engine, k, g, true)
+}
+
+// record implements Record. touch=false records without marking the key
+// requested: the cache fills of a warmup replay must stay invisible to
+// compaction (a replay re-requests the whole trace by construction —
+// counting it would keep every key alive forever), while still appending
+// novel keys for the trace-rotation deployment loop.
+func (r *TraceRecorder) record(engine string, k kernels.Kernel, g gpu.Spec, touch bool) {
+	key := entryKey(engine, k.Label(), g.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if touch && r.compactAfter > 0 {
+		r.touchLocked(key)
+	}
 	if _, ok := r.seen[key]; ok {
 		return
 	}
@@ -144,14 +241,49 @@ func (r *TraceRecorder) Record(engine string, k kernels.Kernel, g gpu.Spec) {
 		return
 	}
 	r.seen[key] = struct{}{}
-	line, err := json.Marshal(entryFromKernel(engine, k, g))
+	entry := entryFromKernel(engine, k, g)
+	line, err := json.Marshal(entry)
 	if err == nil {
 		_, err = r.bw.Write(append(line, '\n'))
 	}
 	if err != nil {
 		r.err = err
 		r.dropped++
+		return
 	}
+	if r.compactAfter > 0 {
+		r.fresh = append(r.fresh, entry)
+	}
+}
+
+// Touch marks the (engine, kernel, GPU) key as requested this run without
+// recording it. The serving layer calls it on cache hits so compaction
+// sees the full request profile, not just the cache-fill slice; a
+// non-compacting recorder ignores it without taking the lock.
+func (r *TraceRecorder) Touch(engine string, k kernels.Kernel, g gpu.Spec) {
+	if r.compactAfter <= 0 {
+		return
+	}
+	key := entryKey(engine, k.Label(), g.Name)
+	r.mu.Lock()
+	r.touchLocked(key)
+	r.mu.Unlock()
+}
+
+// touchLocked inserts key into the touched set, bounded by the same
+// maxTraceKeys cap as the dedup set — kernel shapes come from client
+// request bodies, so the set of unique keys is workload-controlled and a
+// long-lived process must not accumulate it without bound. Past the cap,
+// novel keys go unmarked; the worst case is a kept trace entry aging one
+// replay early, against unbounded heap growth. Callers hold r.mu.
+func (r *TraceRecorder) touchLocked(key string) {
+	if _, ok := r.touched[key]; ok {
+		return
+	}
+	if len(r.touched) >= maxTraceKeys {
+		return
+	}
+	r.touched[key] = struct{}{}
 }
 
 // Flush writes buffered entries through to the file.
@@ -172,7 +304,10 @@ func (r *TraceRecorder) Dropped() uint64 {
 	return r.dropped
 }
 
-// Close flushes and closes the trace file.
+// Close flushes and closes the trace file. A compacting recorder then
+// rewrites it with one replay of aging applied: keys requested this run
+// reset to idle 0, untouched keys age one replay, and keys reaching the
+// idle bound are dropped.
 func (r *TraceRecorder) Close() error {
 	flushErr := r.Flush()
 	r.mu.Lock()
@@ -180,7 +315,123 @@ func (r *TraceRecorder) Close() error {
 	if err := r.f.Close(); err != nil {
 		return err
 	}
+	if r.compactAfter > 0 {
+		if err := r.compactLocked(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
 	return flushErr
+}
+
+// compactLocked rewrites the trace with this run's aging folded in.
+// Callers must hold r.mu and have closed the append handle.
+func (r *TraceRecorder) compactLocked() error {
+	out := make([]TraceEntry, 0, len(r.loaded)+len(r.fresh))
+	for _, ce := range r.loaded {
+		e := ce.e
+		if _, ok := r.touched[ce.key]; ok {
+			e.Idle = 0
+		} else {
+			e.Idle++
+			if e.Idle >= r.compactAfter {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	out = append(out, r.fresh...) // recorded this run: idle 0 by construction
+	return writeTraceFile(r.path, out)
+}
+
+// writeTraceFile atomically replaces the trace at path with entries
+// (write to a temporary file, then rename), so a crash mid-rewrite leaves
+// either the old trace or the new one — never a torn file.
+func writeTraceFile(path string, entries []TraceEntry) error {
+	tmp := path + ".compact.tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: compact trace: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err == nil {
+			_, err = bw.Write(append(line, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("serve: compact trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: compact trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: compact trace: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: compact trace: %w", err)
+	}
+	return nil
+}
+
+// TraceCompaction reports the compaction state of the attached trace
+// recorder, exposed in the "trace_compaction" section of /v2/stats.
+type TraceCompaction struct {
+	// MaxIdleReplays is the bound K: keys not requested within the last K
+	// replays (process runs) are dropped from the trace.
+	MaxIdleReplays int `json:"max_idle_replays"`
+	// Loaded counts the entries carried over from the trace at startup.
+	Loaded int `json:"loaded"`
+	// AgedOut counts the entries pruned at startup (idle at or past the
+	// bound, duplicates, or unreplayable in this build).
+	AgedOut int `json:"aged_out"`
+	// Touched counts the unique keys requested so far this run — the set
+	// that will reset to idle 0 when the trace is rewritten on shutdown.
+	Touched int `json:"touched"`
+}
+
+// Compaction returns the recorder's compaction state, or nil for a
+// non-compacting recorder.
+func (r *TraceRecorder) Compaction() *TraceCompaction {
+	if r.compactAfter <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &TraceCompaction{
+		MaxIdleReplays: r.compactAfter,
+		Loaded:         len(r.loaded),
+		AgedOut:        r.agedOut,
+		Touched:        len(r.touched),
+	}
+}
+
+// TraceCompaction returns the attached recorder's compaction state, or
+// nil when no compacting recorder is attached.
+func (s *Service) TraceCompaction() *TraceCompaction {
+	if r := s.recorder.Load(); r != nil {
+		return r.Compaction()
+	}
+	return nil
+}
+
+// touchTrace is the serving-path hook for cache hits: compaction must see
+// every requested key, not just the cache fills recordTrace covers. Hits
+// produced by a warmup replay (duplicate keys within the trace) do not
+// count as requests.
+func (s *Service) touchTrace(engine string, k kernels.Kernel, g gpu.Spec) {
+	if s.warming.Load() {
+		return
+	}
+	if r := s.recorder.Load(); r != nil {
+		r.Touch(engine, k, g)
+	}
 }
 
 // SetTraceRecorder starts (non-nil) or stops (nil) recording served keys
@@ -189,10 +440,12 @@ func (r *TraceRecorder) Close() error {
 func (s *Service) SetTraceRecorder(r *TraceRecorder) { s.recorder.Store(r) }
 
 // recordTrace is the serving-path hook: called after a key is served and
-// cached for the first time.
+// cached for the first time. Fills made by a warmup replay are recorded
+// (trace rotation depends on it) but not marked requested — only live
+// traffic keeps a key alive under compaction.
 func (s *Service) recordTrace(engine string, k kernels.Kernel, g gpu.Spec) {
 	if r := s.recorder.Load(); r != nil {
-		r.Record(engine, k, g)
+		r.record(engine, k, g, !s.warming.Load())
 	}
 }
 
@@ -272,6 +525,8 @@ func (s *Service) Warmup() *WarmupStats { return s.warmup.Load() }
 // /v2/stats, is the separate accounting.
 func (s *Service) WarmFromTrace(ctx context.Context, path string) (WarmupStats, error) {
 	start := time.Now()
+	s.warming.Store(true)
+	defer s.warming.Store(false)
 	ws := WarmupStats{Source: path}
 	entries, skipped, err := ReadTrace(path)
 	ws.Skipped = skipped

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -249,6 +252,229 @@ func TestTraceRecorderSeedsFromExistingFile(t *testing.T) {
 	}
 	if len(entries) != 2 {
 		t.Errorf("trace entries after reopen = %d, want 2 (no duplicate of k1)", len(entries))
+	}
+}
+
+// TestTraceCompactionAgesOutIdleKeys walks the multi-run lifecycle: a key
+// requested every run stays forever; a key nobody requests ages one
+// replay per run and is dropped when it reaches the bound.
+func TestTraceCompactionAgesOutIdleKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.jsonl")
+	g := gpu.MustLookup("V100")
+	k1 := kernels.NewBMM(2, 64, 64, 64)
+	k2 := kernels.NewLinear(8, 16, 16)
+	k3 := kernels.NewSoftmax(1024, 128)
+
+	// Run 1: all three keys served.
+	rec, err := NewTraceRecorderCompact(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record("alpha", k1, g)
+	rec.Record("alpha", k2, g)
+	rec.Record("alpha", k3, g)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Runs 2 and 3: only k1 is requested. k2/k3 age to idle 1, then reach
+	// the bound of 2 and drop.
+	for run := 2; run <= 3; run++ {
+		rec, err = NewTraceRecorderCompact(path, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc := rec.Compaction(); tc.Loaded != 3 && run == 2 {
+			t.Fatalf("run %d loaded %d entries, want 3", run, tc.Loaded)
+		}
+		rec.Touch("alpha", k1, g)
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%v, %d skipped)", err, skipped)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries after aging = %d, want only the requested key", len(entries))
+	}
+	if k, _ := entries[0].Kernel(); k.Label() != k1.Label() {
+		t.Errorf("surviving key = %s, want %s", k.Label(), k1.Label())
+	}
+	if entries[0].Idle != 0 {
+		t.Errorf("surviving key idle = %d, want 0 (requested last run)", entries[0].Idle)
+	}
+}
+
+// TestTraceCompactionPrunesAtOpen: entries already past the idle bound
+// are removed the moment the recorder opens — and the pruned file is
+// written back immediately, so a crashy run cannot resurrect them.
+func TestTraceCompactionPrunesAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.jsonl")
+	lines := []string{
+		`{"engine":"alpha","gpu":"V100","op":"bmm","b":2,"m":64,"k":64,"n":64}`,
+		`{"engine":"alpha","gpu":"V100","op":"softmax","b":1024,"m":128,"idle":5}`,
+		`{"engine":"alpha","gpu":"V100","op":"warpdrive","b":2,"m":64}`, // unreplayable
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewTraceRecorderCompact(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := rec.Compaction()
+	if tc == nil || tc.Loaded != 1 || tc.AgedOut != 2 || tc.MaxIdleReplays != 2 {
+		t.Fatalf("compaction stats = %+v, want 1 loaded, 2 aged out, bound 2", tc)
+	}
+	// Pruned before Close: the rewrite happened at open.
+	entries, _, err := ReadTrace(path)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("trace after open = (%d entries, %v), want 1 — prune must be durable immediately", len(entries), err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceCompactionServingIntegration runs the deployment loop with a
+// live service: a warmup replay must NOT count as a request (else nothing
+// would ever age), while a live cache hit must.
+func TestTraceCompactionServingIntegration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serving.jsonl")
+	g := gpu.MustLookup("V100")
+	k1 := kernels.NewBMM(4, 128, 128, 128)
+	k2 := kernels.NewLinear(64, 256, 256)
+
+	// Run 1: both keys served live.
+	reg1 := predict.NewRegistry()
+	reg1.MustRegister(constEngine("alpha", 1))
+	svc1 := NewMulti(reg1, "alpha", Config{CacheSize: 64})
+	rec1, err := NewTraceRecorderCompact(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.SetTraceRecorder(rec1)
+	svc1.PredictKernel(k1, g)
+	svc1.PredictKernel(k2, g)
+	if err := rec1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: warm from the trace (fills both — no touch), then only k1
+	// sees live traffic, served from the warm cache (the hit path must
+	// touch it).
+	reg2 := predict.NewRegistry()
+	reg2.MustRegister(constEngine("alpha", 1))
+	svc2 := NewMulti(reg2, "alpha", Config{CacheSize: 64})
+	rec2, err := NewTraceRecorderCompact(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2.SetTraceRecorder(rec2)
+	if ws, err := svc2.WarmFromTrace(context.Background(), path); err != nil || ws.Warmed != 2 {
+		t.Fatalf("warmup = (%+v, %v), want 2 warmed", ws, err)
+	}
+	if tc := svc2.TraceCompaction(); tc == nil || tc.Touched != 0 {
+		t.Fatalf("trace compaction after warmup = %+v, want 0 touched (replay is not a request)", tc)
+	}
+	hitsBefore := svc2.Stats().CacheHits
+	if _, err := svc2.PredictKernel(k1, g); err != nil {
+		t.Fatal(err)
+	}
+	if svc2.Stats().CacheHits != hitsBefore+1 {
+		t.Fatal("live request should have been a warm cache hit")
+	}
+	if tc := svc2.TraceCompaction(); tc == nil || tc.Touched != 1 || tc.Loaded != 2 {
+		t.Fatalf("trace compaction = %+v, want 1 touched of 2 loaded", tc)
+	}
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the bound at 1 replay, the unrequested k2 is gone.
+	entries, skipped, err := ReadTrace(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadTrace = (%v, %d skipped)", err, skipped)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (k2 aged out)", len(entries))
+	}
+	if k, _ := entries[0].Kernel(); k.Label() != k1.Label() {
+		t.Errorf("surviving key = %s, want %s", k.Label(), k1.Label())
+	}
+}
+
+// TestTraceCompactionKeepsFreshKeys: keys newly recorded during a
+// compacting run survive the close rewrite.
+func TestTraceCompactionKeepsFreshKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	g := gpu.MustLookup("V100")
+	rec, err := NewTraceRecorderCompact(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record("alpha", kernels.NewBMM(2, 64, 64, 64), g)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := ReadTrace(path)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("trace = (%d entries, %v), want the fresh key kept", len(entries), err)
+	}
+	if rec.Compaction().MaxIdleReplays != 3 {
+		t.Errorf("compaction bound = %d, want 3", rec.Compaction().MaxIdleReplays)
+	}
+}
+
+// TestTraceCompactionOnStats pins the /v2/stats exposure: the section is
+// absent without a compacting recorder and present with one.
+func TestTraceCompactionOnStats(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(constEngine("alpha", 1))
+	svc := NewMulti(reg, "alpha", Config{CacheSize: 64})
+	h := NewHandler(svc)
+
+	stats := func() map[string]json.RawMessage {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/v2/stats", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if _, ok := stats()["trace_compaction"]; ok {
+		t.Fatal("trace_compaction present without a compacting recorder")
+	}
+	rec, err := NewTraceRecorderCompact(filepath.Join(t.TempDir(), "stats.jsonl"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	svc.SetTraceRecorder(rec)
+	svc.PredictKernel(kernels.NewBMM(2, 64, 64, 64), gpu.MustLookup("V100"))
+	raw, ok := stats()["trace_compaction"]
+	if !ok {
+		t.Fatal("trace_compaction missing from /v2/stats")
+	}
+	var tc TraceCompaction
+	if err := json.Unmarshal(raw, &tc); err != nil {
+		t.Fatal(err)
+	}
+	if tc.MaxIdleReplays != 4 || tc.Touched != 1 {
+		t.Fatalf("trace_compaction = %+v, want bound 4, 1 touched", tc)
+	}
+}
+
+func TestNewTraceRecorderCompactValidation(t *testing.T) {
+	if _, err := NewTraceRecorderCompact(filepath.Join(t.TempDir(), "x.jsonl"), 0); err == nil {
+		t.Fatal("bound 0 must be rejected")
 	}
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# bench.sh — run the serving-layer benchmarks and emit BENCH_serve.json,
+# the machine-readable perf snapshot CI uploads as an artifact on every
+# build. Runs the three serving benchmarks (per-request, batched, sharded
+# throughput) with -benchmem -count=3 so every sample carries
+# predictions/sec, cache hit rate, and allocs/op, with enough repeats to
+# eyeball run-to-run noise.
+#
+#   scripts/bench.sh                 # writes BENCH_serve.json in the repo root
+#   BENCH_OUT=path scripts/bench.sh  # write elsewhere
+#   BENCH_TIME=2s BENCH_COUNT=5 scripts/bench.sh  # heavier measurement
+#
+# The default benchtime is iteration-bounded (not wall-clock) so CI pays a
+# bounded cost; for real measurement on quiet hardware, raise BENCH_TIME.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_serve.json}"
+count="${BENCH_COUNT:-3}"
+benchtime="${BENCH_TIME:-2000x}"
+pattern='ServeThroughput|ServeBatchThroughput|ShardedThroughput'
+
+echo "==> go test -bench '$pattern' -benchmem -benchtime=$benchtime -count=$count ."
+raw=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" -count="$count" .)
+echo "$raw"
+
+# Parse `go test -bench` output into JSON. Benchmark lines have the shape
+#   BenchmarkName-P  N  <value unit> <value unit> ...
+# where custom metrics (predictions/sec, cache_hit_pct, ...) sit between
+# ns/op and the -benchmem pair. Units become JSON keys: "/" -> "_per_",
+# other non-identifier characters -> "_".
+echo "$raw" | awk -v count="$count" -v benchtime="$benchtime" '
+  /^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+      key = $(i + 1)
+      gsub(/\//, "_per_", key)
+      gsub(/[^A-Za-z0-9_]/, "_", key)
+      line = line sprintf(",\"%s\":%s", key, $i)
+    }
+    runs[++m] = line "}"
+  }
+  END {
+    if (m == 0) {
+      print "bench.sh: no benchmark lines parsed" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\"benchtime\":\"%s\",\"count\":%s,\"runs\":[", benchtime, count
+    for (i = 1; i <= m; i++) {
+      if (i > 1) printf ","
+      printf "%s", runs[i]
+    }
+    print "]}"
+  }
+' > "$out"
+
+# The artifact must be valid JSON and carry the headline metrics.
+python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = {r["name"].split("/")[0] for r in doc["runs"]}
+want = {"ServeThroughput", "ServeBatchThroughput", "ShardedThroughput"}
+missing = want - names
+if missing:
+    raise SystemExit(f"bench.sh: benchmarks missing from output: {sorted(missing)}")
+if not any("predictions_per_sec" in r for r in doc["runs"]):
+    raise SystemExit("bench.sh: no predictions_per_sec metric parsed")
+if not any("allocs_per_op" in r for r in doc["runs"]):
+    raise SystemExit("bench.sh: no allocs_per_op metric parsed")
+if not any("cache_hit_pct" in r for r in doc["runs"]):
+    raise SystemExit("bench.sh: no cache_hit_pct metric parsed")
+print(f"bench.sh: {len(doc['runs'])} runs across {len(names)} benchmarks")
+EOF
+
+echo "wrote $out"

@@ -32,23 +32,32 @@ go build ./...
 if [[ "$fast" == 1 ]]; then
   echo "==> go test ./... (fast mode, no race detector)"
   go test ./...
-  # The engine registry and serving layer are the concurrency-critical
-  # surface: they stay race-checked even in fast mode.
-  echo "==> go test -race ./internal/predict ./internal/serve"
-  go test -race ./internal/predict ./internal/serve
+  # The engine registry, serving layer, and cluster peer layer are the
+  # concurrency-critical surface: they stay race-checked even in fast mode.
+  echo "==> go test -race ./internal/predict ./internal/serve ./internal/cluster"
+  go test -race ./internal/predict ./internal/serve ./internal/cluster
 else
   echo "==> go test -race ./..."
   go test -race ./...
 fi
 
-# Docs gate: every versioned route the HTTP layer actually handles must be
+# Docs gate: every versioned route the code actually serves must be
 # documented in docs/API.md — adding an endpoint without documenting it
-# fails CI here.
+# fails CI here. The route list is derived from the source, not
+# maintained by hand: serve registers routes via mux.HandleFunc literals,
+# and the cluster layer declares its /v2/cluster/* paths as string
+# literals in non-test files.
 echo "==> docs gate (API routes vs docs/API.md)"
 missing=0
-for route in $(grep -o 'mux.HandleFunc("/v[12][^"]*"' internal/serve/http.go | sed 's/mux.HandleFunc("//; s/"$//'); do
+routes=$(
+  {
+    grep -ho 'mux.HandleFunc("/v[12][^"]*"' internal/serve/http.go | sed 's/mux.HandleFunc("//; s/"$//'
+    grep -rho --include='*.go' --exclude='*_test.go' '"/v[0-9]/cluster/[^"]*"' internal/cluster | tr -d '"'
+  } | sort -u
+)
+for route in $routes; do
   if ! grep -q -- "$route" docs/API.md; then
-    echo "route $route handled in internal/serve/http.go but missing from docs/API.md" >&2
+    echo "route $route handled in the code but missing from docs/API.md" >&2
     missing=1
   fi
 done
