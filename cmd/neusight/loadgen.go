@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"neusight/internal/gpusim"
+	"neusight/internal/loadgen"
+	"neusight/internal/predict"
+	"neusight/internal/serve"
+)
+
+// loadgenCmd drives the open-loop load harness against a prediction
+// service: either an external one (-target URL) or one it boots in-process
+// on a loopback port (-self roofline|quick) so capacity can be measured
+// with a single command and no background process management — which is
+// how scripts/bench.sh --sweep and CI use it.
+//
+// Two modes: -rate/-duration offers one fixed-rate step; -sweep
+// "start:step:max" walks the offered rate up until an SLO breach
+// (-slo-p99 / -slo-errors) and reports the knee — the highest rate the
+// service sustained within SLO. Either way the result is one
+// machine-readable JSON report (stdout, or -out).
+func loadgenCmd(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of the service under test (e.g. http://127.0.0.1:8080)")
+	self := fs.String("self", "", "serve an in-process target instead of -target: roofline (analytical, instant) or quick (trains the reduced neusight predictor first)")
+	shards := fs.Int("shards", 0, "-self only: shard traffic by (engine, GPU) onto this many shards (0 or 1 = unsharded)")
+	shardQueue := fs.Int("shard-queue", 0, "-self only: per-shard in-flight bound before 503 backpressure (0 = default)")
+	workers := fs.Int("workers", 0, "-self only: max concurrent backend predictions (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "-self only: prediction LRU cache size per partition (negative disables)")
+
+	arrival := fs.String("arrival", loadgen.ArrivalPoisson, "arrival process: poisson or bursty")
+	burstOn := fs.Duration("burst-on", 20*time.Millisecond, "bursty: on-window length")
+	burstOff := fs.Duration("burst-off", 80*time.Millisecond, "bursty: off-window length")
+	seed := fs.Int64("seed", 1, "arrival-process and scenario seed (fixed seed = reproducible run)")
+
+	rate := fs.Float64("rate", 0, "fixed mode: offered rate in requests/second")
+	duration := fs.Duration("duration", 10*time.Second, "fixed mode: step length")
+	sweep := fs.String("sweep", "", `sweep mode: "start:step:max" offered-rate schedule (requests/second)`)
+	stepDuration := fs.Duration("step-duration", 2*time.Second, "sweep: hold time per step")
+	cooldown := fs.Duration("cooldown", 200*time.Millisecond, "sweep: pause between steps so backlog drains")
+	sloP99 := fs.Float64("slo-p99", 0, "sweep SLO: breach when p99 latency exceeds this many milliseconds (0 = off)")
+	sloErrors := fs.Float64("slo-errors", 0.01, "sweep SLO: breach when the error/503/drop rate exceeds this fraction (0 = off)")
+
+	mix := fs.String("mix", "kernel=1", `request mix, e.g. "kernel=0.7,batch=0.2,graph=0.1"`)
+	modelList := fs.String("models", "BERT-Large", "comma-separated workload names spanning the scenario (see list-models)")
+	gpuList := fs.String("gpus", "H100,V100", "comma-separated GPU names spanning the scenario (see list-gpus)")
+	batchSize := fs.Int("batch-size", 32, "kernels per batch request in the mix")
+	graphBatch := fs.Int("graph-batch", 2, "workload batch size of graph requests in the mix")
+	poolSize := fs.Int("pool", 512, "distinct pre-encoded requests in the scenario pool")
+	engine := fs.String("engine", "", "per-request /v2 engine name (empty = server default)")
+	tracePath := fs.String("trace", "", "replay this recorded workload trace instead of a generated mix")
+
+	maxInFlight := fs.Int("max-inflight", 0, "cap on outstanding requests; arrivals past it are shed as drops (0 = default, negative = unbounded)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout; a timed-out request counts as errored")
+	outPath := fs.String("out", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if (*target == "") == (*self == "") {
+		return fmt.Errorf("loadgen: pass exactly one of -target or -self")
+	}
+	if *sweep == "" && *rate <= 0 {
+		return fmt.Errorf("loadgen: pass -sweep start:step:max or a positive -rate")
+	}
+	if *sweep != "" && *rate > 0 {
+		return fmt.Errorf("loadgen: -sweep and -rate are mutually exclusive")
+	}
+
+	spec := loadgen.ArrivalSpec{Process: *arrival, Seed: *seed}
+	if *arrival == loadgen.ArrivalBursty {
+		spec.On, spec.Off = *burstOn, *burstOff
+	}
+
+	scenario, err := buildScenario(*tracePath, *mix, *modelList, *gpuList, *engine, *batchSize, *graphBatch, *poolSize, *seed)
+	if err != nil {
+		return err
+	}
+
+	baseURL := *target
+	if *self != "" {
+		stop, url, err := startSelfTarget(*self, serve.Config{
+			CacheSize: *cacheSize, Workers: *workers,
+			Shards: *shards, ShardQueue: *shardQueue,
+		})
+		if err != nil {
+			return err
+		}
+		defer stop()
+		baseURL = url
+		fmt.Fprintf(os.Stderr, "loadgen: self-serving %s target on %s\n", *self, url)
+	}
+	tgt := loadgen.NewTarget(baseURL, *maxInFlight)
+	defer tgt.Client.CloseIdleConnections()
+
+	runCfg := loadgen.RunConfig{
+		Arrival:     spec,
+		Scenario:    scenario,
+		MaxInFlight: *maxInFlight,
+		Timeout:     *timeout,
+	}
+	report := loadgen.Report{
+		Kind:     loadgen.ReportKind,
+		Target:   baseURL,
+		Scenario: scenario.Name,
+		Arrival:  spec,
+	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	if *sweep != "" {
+		start, step, max, err := parseSweep(*sweep)
+		if err != nil {
+			return err
+		}
+		slo := loadgen.SLO{P99Ms: *sloP99, MaxErrorRate: *sloErrors}
+		report.SLO = &slo
+		fmt.Fprintf(os.Stderr, "loadgen: sweeping %g -> %g/s in steps of %g (%v per step) against %s\n",
+			start, max, step, *stepDuration, baseURL)
+		res, err := loadgen.Sweep(ctx, tgt, loadgen.SweepConfig{
+			Start: start, Step: step, Max: max,
+			StepDuration: *stepDuration,
+			Cooldown:     *cooldown,
+			SLO:          slo,
+			Run:          runCfg,
+		})
+		if err != nil {
+			return err
+		}
+		report.Sweep = &res
+		for _, s := range res.Steps {
+			fmt.Fprintf(os.Stderr, "  %8.0f/s offered: %7.1f/s achieved, p50 %.3fms p99 %.3fms p999 %.3fms, errors %.4f\n",
+				s.OfferedRate, s.AchievedRate, s.P50Ms, s.P99Ms, s.P999Ms, s.ErrorRate)
+		}
+		switch {
+		case res.Knee != nil:
+			fmt.Fprintf(os.Stderr, "loadgen: knee at %g/s (p99 %.3fms, errors %.4f)",
+				res.Knee.OfferedRate, res.Knee.P99Ms, res.Knee.ErrorRate)
+			if res.Breached {
+				fmt.Fprintf(os.Stderr, "; next step breached: %s\n", res.BreachReason)
+			} else {
+				fmt.Fprintf(os.Stderr, "; SLO held to the sweep ceiling — the true knee is at or above %g/s\n", max)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: no knee — the first step already breached: %s\n", res.BreachReason)
+		}
+	} else {
+		runCfg.Rate = *rate
+		runCfg.Duration = *duration
+		fmt.Fprintf(os.Stderr, "loadgen: offering %g/s for %v against %s\n", *rate, *duration, baseURL)
+		res, err := loadgen.Run(ctx, tgt, runCfg)
+		if err != nil {
+			return err
+		}
+		report.Run = &res
+		fmt.Fprintf(os.Stderr, "loadgen: %d sent, %d ok, %d rejected, %d errored, %d dropped; p50 %.3fms p99 %.3fms p999 %.3fms\n",
+			res.Sent, res.Succeeded, res.Rejected, res.Errored, res.Dropped, res.P50Ms, res.P99Ms, res.P999Ms)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, enc, 0o644)
+	}
+	_, err = os.Stdout.Write(enc)
+	return err
+}
+
+// buildScenario resolves the -trace/-mix flags into a request pool.
+func buildScenario(tracePath, mix, modelList, gpuList, engine string, batchSize, graphBatch, poolSize int, seed int64) (*loadgen.Scenario, error) {
+	if tracePath != "" {
+		sc, skipped, err := loadgen.NewTraceReplay(tracePath, engine)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: trace %s: %d entries skipped (corrupt or not API-expressible)\n", tracePath, skipped)
+		}
+		return sc, nil
+	}
+	kw, bw, gw, err := parseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.NewMix(loadgen.MixConfig{
+		KernelWeight: kw, BatchWeight: bw, GraphWeight: gw,
+		Models: splitPeers(modelList), GPUs: splitPeers(gpuList),
+		Engine: engine, BatchSize: batchSize, GraphBatch: graphBatch,
+		PoolSize: poolSize, Seed: seed,
+	})
+}
+
+// parseMix parses "kernel=0.7,batch=0.2,graph=0.1" into the three weights.
+// Omitted kinds weigh zero.
+func parseMix(s string) (kernel, batch, graph float64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("loadgen: mix entry %q is not kind=weight", part)
+		}
+		w, perr := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if perr != nil || w < 0 {
+			return 0, 0, 0, fmt.Errorf("loadgen: mix weight %q must be a non-negative number", val)
+		}
+		switch strings.TrimSpace(key) {
+		case "kernel":
+			kernel = w
+		case "batch":
+			batch = w
+		case "graph":
+			graph = w
+		default:
+			return 0, 0, 0, fmt.Errorf("loadgen: unknown mix kind %q (want kernel, batch, or graph)", key)
+		}
+	}
+	if kernel+batch+graph == 0 {
+		return 0, 0, 0, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return kernel, batch, graph, nil
+}
+
+// parseSweep parses the "start:step:max" offered-rate schedule.
+func parseSweep(s string) (start, step, max float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf(`loadgen: -sweep wants "start:step:max", got %q`, s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if perr != nil {
+			return 0, 0, 0, fmt.Errorf("loadgen: -sweep field %q is not a number", p)
+		}
+		vals[i] = v
+	}
+	start, step, max = vals[0], vals[1], vals[2]
+	if start <= 0 || step <= 0 || max < start {
+		return 0, 0, 0, fmt.Errorf("loadgen: -sweep wants 0 < start <= max and step > 0, got %q", s)
+	}
+	return start, step, max, nil
+}
+
+// startSelfTarget boots an in-process prediction service on a loopback
+// port and returns its base URL plus a stop function. The roofline mode is
+// instant (analytical engine only); quick first trains the reduced
+// neusight predictor the way `serve -quick` does, then serves it alongside
+// the free engines.
+func startSelfTarget(mode string, cfg serve.Config) (stop func(), baseURL string, err error) {
+	reg := predict.NewRegistry()
+	var def string
+	switch mode {
+	case "roofline":
+		reg.MustRegister(predict.NewRooflineEngine())
+		def = predict.EngineRoofline
+	case "quick":
+		fmt.Fprintln(os.Stderr, "loadgen: training a reduced in-process predictor...")
+		p := quickPredictor()
+		reg.MustRegister(predict.NewCoreEngine(p))
+		reg.MustRegister(predict.NewRooflineEngine())
+		reg.MustRegister(predict.NewSimEngine(gpusim.New()))
+		def = predict.EngineNeuSight
+	default:
+		return nil, "", fmt.Errorf("loadgen: unknown -self mode %q (want roofline or quick)", mode)
+	}
+	svc := serve.NewMulti(reg, def, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(svc), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, "http://" + ln.Addr().String(), nil
+}

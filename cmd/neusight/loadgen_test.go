@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in         string
+		kw, bw, gw float64
+		wantErr    bool
+	}{
+		{in: "kernel=1", kw: 1},
+		{in: "kernel=0.7,batch=0.2,graph=0.1", kw: 0.7, bw: 0.2, gw: 0.1},
+		{in: " batch=2 , graph=1 ", bw: 2, gw: 1},
+		{in: "kernel=0,batch=0,graph=0", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "kernel=-1", wantErr: true},
+		{in: "kernel=x", wantErr: true},
+		{in: "kernel", wantErr: true},
+		{in: "tensor=1", wantErr: true},
+	}
+	for _, tc := range cases {
+		kw, bw, gw, err := parseMix(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseMix(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMix(%q): %v", tc.in, err)
+			continue
+		}
+		if kw != tc.kw || bw != tc.bw || gw != tc.gw {
+			t.Errorf("parseMix(%q) = %g/%g/%g, want %g/%g/%g", tc.in, kw, bw, gw, tc.kw, tc.bw, tc.gw)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	cases := []struct {
+		in               string
+		start, step, max float64
+		wantErr          bool
+	}{
+		{in: "100:100:2000", start: 100, step: 100, max: 2000},
+		{in: " 50 : 25 : 50 ", start: 50, step: 25, max: 50},
+		{in: "100:100", wantErr: true},
+		{in: "a:b:c", wantErr: true},
+		{in: "0:100:2000", wantErr: true},
+		{in: "100:0:2000", wantErr: true},
+		{in: "2000:100:100", wantErr: true},
+	}
+	for _, tc := range cases {
+		start, step, max, err := parseSweep(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseSweep(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSweep(%q): %v", tc.in, err)
+			continue
+		}
+		if start != tc.start || step != tc.step || max != tc.max {
+			t.Errorf("parseSweep(%q) = %g:%g:%g, want %g:%g:%g", tc.in, start, step, max, tc.start, tc.step, tc.max)
+		}
+	}
+}

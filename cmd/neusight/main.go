@@ -18,6 +18,11 @@
 //	                 [-trace-compact 5] [-peers host2:8080,host3:8080]
 //	                 [-steer redirect|proxy|off] [-advertise host1:8080]
 //	                 [-cluster-listen :9090]
+//	neusight loadgen (-target http://host:8080 | -self roofline) \
+//	                 (-rate 500 -duration 10s | -sweep 100:100:2000) \
+//	                 [-arrival poisson|bursty -burst-on 20ms -burst-off 80ms]
+//	                 [-mix kernel=0.7,batch=0.2,graph=0.1 -models BERT-Large -gpus H100,V100]
+//	                 [-trace trace.jsonl] [-slo-p99 50 -slo-errors 0.01] [-out report.json]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
 // fastest way to get a forecast. "serve" exposes the engine registry as a
@@ -28,7 +33,10 @@
 // a cluster with other serve processes: engine-generation changes gossip
 // between members so a retrain anywhere invalidates every member's stale
 // cache, and requests are steered (307 redirect or transparent proxy) to
-// the member owning their (engine, GPU) shard.
+// the member owning their (engine, GPU) shard. "loadgen" drives a service
+// (or one it boots in-process via -self) with open-loop Poisson or bursty
+// traffic and, in -sweep mode, walks the offered rate up until an SLO
+// breach to report the knee — the node's sustainable capacity.
 package main
 
 import (
@@ -80,6 +88,8 @@ func main() {
 		err = quick(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "loadgen":
+		err = loadgenCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -103,7 +113,8 @@ commands:
   train         train a predictor from a profiled dataset CSV
   predict       forecast a workload with a saved predictor (-engine picks another engine)
   quick         train a reduced predictor in-process and forecast
-  serve         run the concurrent multi-engine HTTP prediction service`)
+  serve         run the concurrent multi-engine HTTP prediction service
+  loadgen       offer open-loop load to a service and find its SLO knee`)
 }
 
 func listGPUs() error {

@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrival process names accepted by ArrivalSpec.Process.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalBursty  = "bursty"
+)
+
+// Arrival generates the interarrival gaps of an open-loop request stream.
+// Next returns the gap between the previous arrival and the next one; the
+// driver schedules arrivals against an absolute timeline (start + sum of
+// gaps), so dispatch jitter never feeds back into the offered rate — the
+// defining property of open-loop load, and the reason a sweep finds the
+// knee instead of the closed-loop plateau.
+//
+// Implementations are not safe for concurrent use: one dispatcher
+// goroutine owns the stream.
+type Arrival interface {
+	Next() time.Duration
+}
+
+// ArrivalSpec names an arrival process and its shape parameters; New
+// instantiates it for a concrete offered rate, so one spec serves every
+// step of a sweep. The zero Process means Poisson.
+type ArrivalSpec struct {
+	// Process selects the arrival process: ArrivalPoisson (memoryless,
+	// exponential gaps) or ArrivalBursty (on/off duty cycle).
+	Process string `json:"process"`
+	// On and Off shape the bursty duty cycle: arrivals come only during
+	// On-long windows separated by Off-long silences, at a peak rate
+	// scaled so the long-run mean equals the requested rate. Ignored for
+	// Poisson. Both must be positive for bursty.
+	On  time.Duration `json:"on,omitempty"`
+	Off time.Duration `json:"off,omitempty"`
+	// Seed makes the stream reproducible; every call to New restarts the
+	// process from it, so two runs at the same rate see identical gaps.
+	Seed int64 `json:"seed"`
+}
+
+// New instantiates the spec's process offering rate requests/second.
+func (s ArrivalSpec) New(rate float64) (Arrival, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rate must be positive, got %g", rate)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Process {
+	case "", ArrivalPoisson:
+		return &poissonArrival{rng: rng, rate: rate}, nil
+	case ArrivalBursty:
+		if s.On <= 0 || s.Off <= 0 {
+			return nil, fmt.Errorf("loadgen: bursty arrivals need positive on/off windows, got on=%v off=%v", s.On, s.Off)
+		}
+		cycle := s.On + s.Off
+		return &burstyArrival{
+			rng:  rng,
+			peak: rate * float64(cycle) / float64(s.On),
+			on:   s.On,
+			off:  s.Off,
+		}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want %s or %s)", s.Process, ArrivalPoisson, ArrivalBursty)
+	}
+}
+
+// poissonArrival is a Poisson process: independent exponential gaps with
+// mean 1/rate — the classic model of many independent users.
+type poissonArrival struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+func (p *poissonArrival) Next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// burstyArrival is an interrupted Poisson process: a Poisson stream at
+// peak rate during each on-window, silence during each off-window. The
+// peak rate is on/off-scaled so the long-run mean rate matches the
+// requested one — a sweep step at rate R offers R on average but hammers
+// the target at R*(on+off)/on during bursts, which is what exposes queue
+// buildup that a smooth stream at R would hide.
+type burstyArrival struct {
+	rng     *rand.Rand
+	peak    float64
+	on, off time.Duration
+	inCycle time.Duration // position within the current on-window
+}
+
+func (b *burstyArrival) Next() time.Duration {
+	gap := time.Duration(b.rng.ExpFloat64() / b.peak * float64(time.Second))
+	pos := b.inCycle + gap
+	// Every on-window boundary the raw gap crosses inserts one off-window
+	// of silence into the returned gap.
+	for pos >= b.on {
+		pos -= b.on
+		gap += b.off
+	}
+	b.inCycle = pos
+	return gap
+}

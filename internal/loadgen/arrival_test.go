@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPoissonInterarrivalMean pins the Poisson process: with a fixed seed
+// the mean interarrival gap lands within tolerance of 1/rate for every
+// rate in the table. Seeded draws make this deterministic — the tolerance
+// documents correctness, not luck.
+func TestPoissonInterarrivalMean(t *testing.T) {
+	const n = 20000
+	for _, rate := range []float64{50, 500, 2000, 10000} {
+		spec := ArrivalSpec{Process: ArrivalPoisson, Seed: 42}
+		arr, err := spec.New(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			gap := arr.Next()
+			if gap < 0 {
+				t.Fatalf("rate %g: negative gap %v", rate, gap)
+			}
+			sum += gap
+		}
+		mean := sum.Seconds() / n
+		want := 1 / rate
+		if rel := math.Abs(mean-want) / want; rel > 0.03 {
+			t.Errorf("rate %g: mean gap %.6fs, want %.6fs (rel err %.3f > 0.03)", rate, mean, want, rel)
+		}
+	}
+}
+
+// TestArrivalDeterministicSeed pins that a spec replays identically: the
+// whole harness's reproducibility rests on this.
+func TestArrivalDeterministicSeed(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Process: ArrivalPoisson, Seed: 7},
+		{Process: ArrivalBursty, On: 10 * time.Millisecond, Off: 30 * time.Millisecond, Seed: 7},
+	} {
+		a1, err := spec.New(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := spec.New(1000)
+		for i := 0; i < 100; i++ {
+			if g1, g2 := a1.Next(), a2.Next(); g1 != g2 {
+				t.Fatalf("%s: draw %d diverged: %v vs %v", spec.Process, i, g1, g2)
+			}
+		}
+		// A different seed must give a different stream.
+		diff := spec
+		diff.Seed = 8
+		a3, _ := diff.New(1000)
+		same := true
+		for i := 0; i < 100; i++ {
+			if a1.Next() != a3.Next() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 produced identical streams", spec.Process)
+		}
+	}
+}
+
+// TestBurstyDutyCycle pins the on/off shape: every arrival falls inside
+// an on-window of the duty cycle, and the long-run mean rate matches the
+// requested rate (the peak rate compensates for the silent off-windows).
+func TestBurstyDutyCycle(t *testing.T) {
+	cases := []struct {
+		name    string
+		on, off time.Duration
+		rate    float64
+	}{
+		{"1:4_duty", 20 * time.Millisecond, 80 * time.Millisecond, 200},
+		{"1:1_duty", 50 * time.Millisecond, 50 * time.Millisecond, 1000},
+		{"9:1_duty", 90 * time.Millisecond, 10 * time.Millisecond, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := ArrivalSpec{Process: ArrivalBursty, On: tc.on, Off: tc.off, Seed: 99}
+			arr, err := spec.New(tc.rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 5000
+			cycle := tc.on + tc.off
+			var at time.Duration // absolute arrival time
+			for i := 0; i < n; i++ {
+				at += arr.Next()
+				if phase := at % cycle; phase >= tc.on {
+					t.Fatalf("arrival %d at %v: phase %v is inside the off-window (on=%v)", i, at, phase, tc.on)
+				}
+			}
+			meanRate := float64(n) / at.Seconds()
+			if rel := math.Abs(meanRate-tc.rate) / tc.rate; rel > 0.05 {
+				t.Errorf("mean rate %.1f/s, want %.1f/s (rel err %.3f > 0.05)", meanRate, tc.rate, rel)
+			}
+		})
+	}
+}
+
+func TestArrivalSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ArrivalSpec
+		rate float64
+	}{
+		{"zero_rate", ArrivalSpec{}, 0},
+		{"negative_rate", ArrivalSpec{}, -5},
+		{"unknown_process", ArrivalSpec{Process: "uniform"}, 100},
+		{"bursty_no_windows", ArrivalSpec{Process: ArrivalBursty}, 100},
+		{"bursty_no_off", ArrivalSpec{Process: ArrivalBursty, On: time.Second}, 100},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.New(tc.rate); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// The empty process name means Poisson.
+	if arr, err := (ArrivalSpec{}).New(100); err != nil || arr == nil {
+		t.Errorf("default process: (%v, %v), want Poisson", arr, err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package loadgen is the load-generation harness of the repo: an
+// open-loop driver that offers prediction traffic to a serve.Service
+// (over its HTTP API) at a controlled rate, measures what comes back, and
+// walks the offered rate up until the service breaches an SLO — answering
+// the capacity question ("how many users can this node take?") that
+// closed-loop microbenchmarks structurally cannot, because a closed loop
+// slows its own offering exactly when the server saturates and so only
+// ever measures the plateau, never the knee.
+//
+// The pieces compose left to right:
+//
+//	ArrivalSpec (arrival.go)  — when requests arrive: Poisson or bursty
+//	                            on/off streams, deterministic under a seed
+//	Scenario (scenario.go)    — what each request is: weighted
+//	                            kernel/batch/graph mixes over a model × GPU
+//	                            matrix, or a recorded trace replayed at rate
+//	Run (this file)           — one fixed-rate step: dispatch open-loop,
+//	                            record latencies into an HDR-style
+//	                            Histogram (hist.go), count outcomes, and
+//	                            difference the server's /v2/stats around
+//	                            the step
+//	Sweep (sweep.go)          — stepped rate escalation with SLO evaluation
+//	                            and knee reporting
+//
+// `neusight loadgen` is the CLI front end; scripts/bench.sh --sweep runs
+// a standard sweep and commits the result as BENCH_serve.json, the repo's
+// reviewable perf trajectory.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neusight/internal/serve"
+)
+
+// Target is the service under test: a base URL plus the HTTP client the
+// driver issues requests through.
+type Target struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// NewTarget returns a Target for baseURL with a client sized for maxConns
+// concurrent requests: connection reuse must keep up with the in-flight
+// ceiling or the driver ends up benchmarking TCP handshakes.
+func NewTarget(baseURL string, maxConns int) *Target {
+	if maxConns <= 0 {
+		maxConns = DefaultMaxInFlight
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxConns,
+		MaxIdleConnsPerHost: maxConns,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Target{BaseURL: baseURL, Client: &http.Client{Transport: tr}}
+}
+
+// Stats fetches the target's /v2/stats snapshot.
+func (t *Target) Stats(ctx context.Context) (serve.StatsV2, error) {
+	var st serve.StatsV2
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.BaseURL+"/v2/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("loadgen: /v2/stats returned %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// DefaultMaxInFlight caps concurrently outstanding requests. An open-loop
+// driver must keep offering while the target lags, but a truly unbounded
+// one would eventually exhaust client sockets and measure its own
+// resource collapse; arrivals past the cap are counted as Dropped — by
+// then the target is far past its knee anyway.
+const DefaultMaxInFlight = 4096
+
+// RunConfig shapes one fixed-rate load step.
+type RunConfig struct {
+	// Rate is the offered rate in requests/second.
+	Rate float64
+	// Duration is how long to offer arrivals (completions may lag a
+	// little past it; they are all waited for and measured).
+	Duration time.Duration
+	// Arrival picks the arrival process (default: Poisson, seed 0).
+	Arrival ArrivalSpec
+	// Scenario supplies the request stream. Required.
+	Scenario *Scenario
+	// MaxInFlight caps outstanding requests (0 = DefaultMaxInFlight;
+	// negative = unbounded).
+	MaxInFlight int
+	// Timeout bounds each request round trip (0 = 30s). A timed-out
+	// request counts as errored.
+	Timeout time.Duration
+	// SkipServerStats disables the /v2/stats delta (for targets that do
+	// not serve it).
+	SkipServerStats bool
+}
+
+// ServerDelta is the change in the target's /v2/stats counters across one
+// step — the server's own account of what the step did to it, recorded so
+// a report can be cross-checked against the service rather than trusting
+// the client side alone (the agreement tests pin the two views equal).
+type ServerDelta struct {
+	Requests       uint64 `json:"requests"`
+	BatchRequests  uint64 `json:"batch_requests"`
+	BatchedKernels uint64 `json:"batched_kernels"`
+	GraphRequests  uint64 `json:"graph_requests"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	Coalesced      uint64 `json:"coalesced"`
+	Errors         uint64 `json:"errors"`
+	Rejected       uint64 `json:"rejected"`
+}
+
+func deltaStats(before, after serve.StatsV2) *ServerDelta {
+	return &ServerDelta{
+		Requests:       after.Requests - before.Requests,
+		BatchRequests:  after.BatchRequests - before.BatchRequests,
+		BatchedKernels: after.BatchedKernels - before.BatchedKernels,
+		GraphRequests:  after.GraphRequests - before.GraphRequests,
+		CacheHits:      after.CacheHits - before.CacheHits,
+		CacheMisses:    after.CacheMisses - before.CacheMisses,
+		Coalesced:      after.Coalesced - before.Coalesced,
+		Errors:         after.Errors - before.Errors,
+		Rejected:       after.Rejected - before.Rejected,
+	}
+}
+
+// StepResult is the measured outcome of one fixed-rate step.
+type StepResult struct {
+	// OfferedRate is the configured arrival rate (requests/second);
+	// AchievedRate is successful completions per second of wall clock.
+	// A widening gap between them is the knee forming.
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+
+	// Sent counts requests actually issued; Succeeded (2xx), Rejected
+	// (503 backpressure), and Errored (everything else, including
+	// transport failures) partition it exactly. Dropped counts arrivals
+	// shed client-side at the in-flight cap — offered but never sent.
+	Sent      uint64 `json:"sent"`
+	Succeeded uint64 `json:"succeeded"`
+	Rejected  uint64 `json:"rejected"`
+	Errored   uint64 `json:"errored"`
+	Dropped   uint64 `json:"dropped"`
+
+	// Latency percentiles are over successful requests only: rejections
+	// complete in microseconds, and folding them in would make the
+	// service look fastest exactly while it sheds load.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	// ErrorRate is (Rejected + Errored + Dropped) / offered arrivals —
+	// the fraction of offered traffic that did not succeed.
+	ErrorRate float64 `json:"error_rate"`
+
+	DurationSec float64 `json:"duration_sec"`
+
+	// Server is the /v2/stats delta across the step (nil when skipped or
+	// unavailable).
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// Run offers one fixed-rate open-loop load step to the target and reports
+// what happened. Arrivals are scheduled on an absolute timeline derived
+// from the arrival process, so a lagging target receives the backlog as a
+// burst instead of silently lowering the offered rate.
+func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
+	if tgt == nil {
+		return StepResult{}, fmt.Errorf("loadgen: nil target")
+	}
+	if cfg.Scenario == nil || cfg.Scenario.Len() == 0 {
+		return StepResult{}, fmt.Errorf("loadgen: empty scenario")
+	}
+	if cfg.Duration <= 0 {
+		return StepResult{}, fmt.Errorf("loadgen: step duration must be positive, got %v", cfg.Duration)
+	}
+	arr, err := cfg.Arrival.New(cfg.Rate)
+	if err != nil {
+		return StepResult{}, err
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	var before serve.StatsV2
+	haveBefore := false
+	if !cfg.SkipServerStats {
+		if st, err := tgt.Stats(ctx); err == nil {
+			before, haveBefore = st, true
+		}
+	}
+
+	var (
+		sent, succeeded, rejected, errored, dropped atomic.Uint64
+		inFlight                                    atomic.Int64
+		hist                                        = NewHistogram()
+		wg                                          sync.WaitGroup
+	)
+	issue := func(req Request) {
+		defer wg.Done()
+		defer inFlight.Add(-1)
+		sent.Add(1)
+		rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
+		defer cancel()
+		start := time.Now()
+		status, err := tgt.do(rctx, req)
+		switch {
+		case err != nil:
+			errored.Add(1)
+		case status == http.StatusServiceUnavailable:
+			rejected.Add(1)
+		case status >= 200 && status < 300:
+			succeeded.Add(1)
+			hist.Observe(time.Since(start))
+		default:
+			errored.Add(1)
+		}
+	}
+
+	start := time.Now()
+	next := start
+	var i uint64
+	for {
+		next = next.Add(arr.Next())
+		if next.Sub(start) >= cfg.Duration {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		req := cfg.Scenario.Request(i)
+		i++
+		if maxInFlight > 0 && inFlight.Load() >= int64(maxInFlight) {
+			dropped.Add(1)
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go issue(req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return StepResult{}, err
+	}
+
+	qs := hist.Quantiles(0.50, 0.99, 0.999)
+	res := StepResult{
+		OfferedRate: cfg.Rate,
+		Sent:        sent.Load(),
+		Succeeded:   succeeded.Load(),
+		Rejected:    rejected.Load(),
+		Errored:     errored.Load(),
+		Dropped:     dropped.Load(),
+		P50Ms:       qs[0],
+		P99Ms:       qs[1],
+		P999Ms:      qs[2],
+		MeanMs:      hist.MeanMs(),
+		MaxMs:       hist.MaxMs(),
+		DurationSec: elapsed.Seconds(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.AchievedRate = float64(res.Succeeded) / secs
+	}
+	if offered := res.Sent + res.Dropped; offered > 0 {
+		res.ErrorRate = float64(res.Rejected+res.Errored+res.Dropped) / float64(offered)
+	}
+	if haveBefore {
+		if after, err := tgt.Stats(ctx); err == nil {
+			res.Server = deltaStats(before, after)
+		}
+	}
+	return res, nil
+}
+
+// do issues one pre-encoded request and returns the HTTP status. The body
+// is drained so the transport can reuse the connection.
+func (t *Target) do(ctx context.Context, req Request) (int, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+req.Path, bytes.NewReader(req.Body))
+	if err != nil {
+		return 0, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := t.Client.Do(hr)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -7,13 +7,24 @@
 # eyeball run-to-run noise.
 #
 #   scripts/bench.sh                 # writes BENCH_serve.json in the repo root
+#   scripts/bench.sh --sweep         # additionally run the stepped SLO-knee
+#                                    # sweep (neusight loadgen) and embed the
+#                                    # result under the "sweep" key
 #   BENCH_OUT=path scripts/bench.sh  # write elsewhere
 #   BENCH_TIME=2s BENCH_COUNT=5 scripts/bench.sh  # heavier measurement
+#   SWEEP_SCHEDULE=100:100:4000 scripts/bench.sh --sweep  # custom schedule
 #
 # The default benchtime is iteration-bounded (not wall-clock) so CI pays a
 # bounded cost; for real measurement on quiet hardware, raise BENCH_TIME.
+# The committed BENCH_serve.json is the repo's perf trajectory: regenerate
+# it with --sweep when a PR changes the serving or prediction hot paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+sweep=0
+if [[ "${1:-}" == "--sweep" ]]; then
+  sweep=1
+fi
 
 out="${BENCH_OUT:-BENCH_serve.json}"
 count="${BENCH_COUNT:-3}"
@@ -75,5 +86,50 @@ if not any("cache_hit_pct" in r for r in doc["runs"]):
     raise SystemExit("bench.sh: no cache_hit_pct metric parsed")
 print(f"bench.sh: {len(doc['runs'])} runs across {len(names)} benchmarks")
 EOF
+
+# --sweep: run the stepped SLO-knee sweep against a self-served roofline
+# target and embed the loadgen report under doc["sweep"]. The schedule and
+# SLO are fixed (overridable via env) so consecutive commits of
+# BENCH_serve.json are comparable: same offered-rate ladder, same breach
+# criteria, only the measured knee moves.
+if [[ "$sweep" == 1 ]]; then
+  schedule="${SWEEP_SCHEDULE:-250:250:6000}"
+  step_duration="${SWEEP_STEP_DURATION:-1s}"
+  sweep_out=$(mktemp)
+  trap 'rm -f "$sweep_out"' EXIT
+  echo "==> neusight loadgen -sweep $schedule (self-served roofline target)"
+  go run ./cmd/neusight loadgen -self roofline -cache -1 -workers 2 \
+    -mix "kernel=0.5,batch=0.3,graph=0.2" -models BERT-Large,GPT2-Large \
+    -gpus H100,V100 -seed 7 \
+    -sweep "$schedule" -step-duration "$step_duration" \
+    -slo-p99 20 -slo-errors 0.02 -out "$sweep_out"
+
+  python3 - "$out" "$sweep_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+if report.get("kind") != "neusight-loadgen":
+    raise SystemExit(f"bench.sh: sweep report has kind {report.get('kind')!r}")
+sweep = report.get("sweep") or {}
+if not sweep.get("steps"):
+    raise SystemExit("bench.sh: sweep ran no steps")
+knee = sweep.get("knee")
+if not knee:
+    raise SystemExit("bench.sh: sweep found no knee — the first step already "
+                     "breached; lower SWEEP_SCHEDULE's start")
+for key in ("offered_rate", "p50_ms", "p99_ms", "p999_ms", "error_rate"):
+    if key not in knee:
+        raise SystemExit(f"bench.sh: knee is missing {key}")
+doc["sweep"] = report
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench.sh: knee at {knee['offered_rate']:.0f}/s "
+      f"(p99 {knee['p99_ms']:.3f} ms, errors {knee['error_rate']:.4f}) "
+      f"over {len(sweep['steps'])} steps")
+EOF
+fi
 
 echo "wrote $out"

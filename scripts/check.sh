@@ -32,10 +32,11 @@ go build ./...
 if [[ "$fast" == 1 ]]; then
   echo "==> go test ./... (fast mode, no race detector)"
   go test ./...
-  # The engine registry, serving layer, and cluster peer layer are the
-  # concurrency-critical surface: they stay race-checked even in fast mode.
-  echo "==> go test -race ./internal/predict ./internal/serve ./internal/cluster"
-  go test -race ./internal/predict ./internal/serve ./internal/cluster
+  # The engine registry, serving layer, cluster peer layer, and load
+  # harness are the concurrency-critical surface: they stay race-checked
+  # even in fast mode.
+  echo "==> go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen"
+  go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen
 else
   echo "==> go test -race ./..."
   go test -race ./...
@@ -75,5 +76,24 @@ echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x ./internal/mat ./internal/core >/dev/null
 go test -run '^$' -bench 'EngineDispatch' -benchtime=1x ./internal/predict >/dev/null
 go test -run '^$' -bench 'Serve|ShardedThroughput' -benchtime=1x . >/dev/null
+
+# Loadgen smoke sweep: two short steps against a self-served roofline
+# target, generous SLO — exercises the whole harness path (CLI flags,
+# in-process target, sweep loop, JSON report) in about a second without
+# measuring anything. scripts/bench.sh --sweep is the real measurement.
+echo "==> loadgen smoke sweep"
+smoke_out=$(mktemp)
+trap 'rm -f "$smoke_out"' EXIT
+go run ./cmd/neusight loadgen -self roofline -sweep 100:100:200 \
+  -step-duration 300ms -slo-errors 0.5 -seed 7 -out "$smoke_out" 2>/dev/null
+python3 - "$smoke_out" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+if report.get("kind") != "neusight-loadgen":
+    raise SystemExit(f"check.sh: smoke sweep report kind {report.get('kind')!r}")
+steps = (report.get("sweep") or {}).get("steps") or []
+if not steps or not any(s.get("succeeded", 0) > 0 for s in steps):
+    raise SystemExit("check.sh: smoke sweep served no successful requests")
+EOF
 
 echo "OK"
