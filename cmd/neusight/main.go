@@ -13,11 +13,12 @@
 //	                 -workload GPT3-XL -gpu H100 -batch 2 [-train] [-fused]
 //	                 [-engine neusight]
 //	neusight quick   -workload GPT3-XL -gpu H100 -batch 2 [-engine roofline]
-//	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick]
+//	neusight serve   -addr :8080 [-model model.json -tiles tiles.json | -quick | -engines roofline,gpusim]
 //	                 [-shards 8] [-warmup trace.jsonl] [-trace-record trace.jsonl]
 //	                 [-trace-compact 5] [-peers host2:8080,host3:8080]
-//	                 [-steer redirect|proxy|off] [-advertise host1:8080]
-//	                 [-cluster-listen :9090]
+//	                 [-join host2:8080] [-steer redirect|proxy|off]
+//	                 [-advertise host1:8080] [-cluster-listen :9090]
+//	                 [-cluster-token secret] [-health-interval 1s]
 //	neusight loadgen (-target http://host:8080 | -self roofline) \
 //	                 (-rate 500 -duration 10s | -sweep 100:100:2000) \
 //	                 [-arrival poisson|bursty -burst-on 20ms -burst-off 80ms]
@@ -33,7 +34,9 @@
 // a cluster with other serve processes: engine-generation changes gossip
 // between members so a retrain anywhere invalidates every member's stale
 // cache, and requests are steered (307 redirect or transparent proxy) to
-// the member owning their (engine, GPU) shard. "loadgen" drives a service
+// the member owning their (engine, GPU) shard; -join grows a running
+// cluster by announcing this process to any existing member. "loadgen"
+// drives a service
 // (or one it boots in-process via -self) with open-loop Poisson or bursty
 // traffic and, in -sweep mode, walks the offered rate up until an SLO
 // breach to report the knee — the node's sustainable capacity.
@@ -204,6 +207,16 @@ func engineSpecs() []engineSpec {
 				return ds
 			}},
 	}
+}
+
+// findEngineSpec looks a standard engine up by name.
+func findEngineSpec(name string) (engineSpec, bool) {
+	for _, spec := range engineSpecs() {
+		if spec.name == name {
+			return spec, true
+		}
+	}
+	return engineSpec{}, false
 }
 
 // trainEngineSpec fits a Trainable engine to ds, applying the spec's
@@ -396,10 +409,14 @@ func serveCmd(args []string) error {
 	tracePath := fs.String("trace-record", "", "append served (kernel, GPU, engine) keys to this JSONL workload trace")
 	warmupPath := fs.String("warmup", "", "replay this workload trace to warm caches before accepting traffic")
 	traceCompact := fs.Int("trace-compact", 0, "age out trace keys not requested within the last K replays (0 = off; requires -trace-record)")
+	engineList := fs.String("engines", "", "serve only these non-trainable engines, comma-separated (no -model/-quick needed; e.g. roofline,gpusim)")
 	peers := fs.String("peers", "", "comma-separated addresses of peer serve processes forming a cluster")
+	join := fs.String("join", "", "join a running cluster by announcing this process to the given member address")
 	steer := fs.String("steer", cluster.SteerRedirect, "cluster steering for requests owned by a peer: redirect (307), proxy (transparent), or off")
 	advertise := fs.String("advertise", "", "address peers reach this process at (default: -addr with an empty host replaced by 127.0.0.1)")
 	clusterListen := fs.String("cluster-listen", "", "optional extra listener serving only the cluster control routes (/v2/cluster/*)")
+	clusterToken := fs.String("cluster-token", "", "shared bearer token required on all /v2/cluster/* control routes (every member must use the same one)")
+	healthInterval := fs.Duration("health-interval", 0, "cluster health-sweep cadence driving the suspect/dead failure detector (0 = default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -409,8 +426,9 @@ func serveCmd(args []string) error {
 	if *traceCompact > 0 && *tracePath == "" {
 		return fmt.Errorf("serve: -trace-compact requires -trace-record")
 	}
-	if (*clusterListen != "" || *advertise != "") && *peers == "" {
-		return fmt.Errorf("serve: -cluster-listen and -advertise require -peers")
+	clustered := *peers != "" || *join != ""
+	if (*clusterListen != "" || *advertise != "" || *clusterToken != "" || *healthInterval != 0) && !clustered {
+		return fmt.Errorf("serve: -cluster-listen, -advertise, -cluster-token, and -health-interval require -peers or -join")
 	}
 	// Validate -steer before the expensive model loading/training below: a
 	// typo'd mode must fail in milliseconds, not after a -quick train.
@@ -420,46 +438,71 @@ func serveCmd(args []string) error {
 		return fmt.Errorf("serve: unknown -steer mode %q (want %s, %s, or %s)",
 			*steer, cluster.SteerRedirect, cluster.SteerProxy, cluster.SteerOff)
 	}
-	if *steer != cluster.SteerRedirect && *peers == "" {
-		return fmt.Errorf("serve: -steer requires -peers")
-	}
-	var p *core.Predictor
-	var ds *dataset.Dataset
-	switch {
-	case *quickTrain:
-		fmt.Println("training a reduced in-process predictor...")
-		var tdb *tile.DB
-		ds, tdb = quickDataset()
-		p = core.NewPredictor(quickCoreConfig(), tdb)
-		p.Train(ds)
-	case *modelPath != "":
-		tdb, err := tile.LoadDB(*tilePath)
-		if err != nil {
-			return err
-		}
-		p, err = core.Load(*modelPath, tdb)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("serve: pass -model (with -tiles) or -quick")
+	if *steer != cluster.SteerRedirect && !clustered {
+		return fmt.Errorf("serve: -steer requires -peers or -join")
 	}
 	reg := predict.NewRegistry()
-	reg.MustRegister(predict.NewCoreEngine(p))
-	for _, spec := range engineSpecs() {
-		eng := spec.build()
-		if tr, ok := eng.(predict.Trainable); ok {
-			if ds == nil {
-				continue // trainable baselines need the -quick dataset
+	defaultEngine := predict.EngineNeuSight
+	if *engineList != "" {
+		// Model-free serving: only engines that need no training can run
+		// without a predictor (-model) or an in-process dataset (-quick).
+		if *quickTrain || *modelPath != "" {
+			return fmt.Errorf("serve: -engines replaces -model/-quick")
+		}
+		names := splitPeers(*engineList)
+		if len(names) == 0 {
+			return fmt.Errorf("serve: -engines lists no engine")
+		}
+		for _, name := range names {
+			spec, ok := findEngineSpec(name)
+			if !ok {
+				return fmt.Errorf("serve: unknown engine %q (see `neusight engines`)", name)
 			}
-			fmt.Printf("training engine %s...\n", spec.name)
-			if err := trainEngineSpec(tr, spec, ds); err != nil {
+			eng := spec.build()
+			if _, trainable := eng.(predict.Trainable); trainable {
+				return fmt.Errorf("serve: engine %q needs training — use -quick instead of -engines", name)
+			}
+			reg.MustRegister(eng)
+		}
+		defaultEngine = names[0]
+	} else {
+		var p *core.Predictor
+		var ds *dataset.Dataset
+		switch {
+		case *quickTrain:
+			fmt.Println("training a reduced in-process predictor...")
+			var tdb *tile.DB
+			ds, tdb = quickDataset()
+			p = core.NewPredictor(quickCoreConfig(), tdb)
+			p.Train(ds)
+		case *modelPath != "":
+			tdb, err := tile.LoadDB(*tilePath)
+			if err != nil {
 				return err
 			}
+			p, err = core.Load(*modelPath, tdb)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("serve: pass -model (with -tiles), -quick, or -engines")
 		}
-		reg.MustRegister(eng)
+		reg.MustRegister(predict.NewCoreEngine(p))
+		for _, spec := range engineSpecs() {
+			eng := spec.build()
+			if tr, ok := eng.(predict.Trainable); ok {
+				if ds == nil {
+					continue // trainable baselines need the -quick dataset
+				}
+				fmt.Printf("training engine %s...\n", spec.name)
+				if err := trainEngineSpec(tr, spec, ds); err != nil {
+					return err
+				}
+			}
+			reg.MustRegister(eng)
+		}
 	}
-	svc := serve.NewMulti(reg, predict.EngineNeuSight, serve.Config{
+	svc := serve.NewMulti(reg, defaultEngine, serve.Config{
 		CacheSize: *cacheSize, Workers: *workers,
 		Shards: *shards, ShardQueue: *shardQueue,
 	})
@@ -505,23 +548,44 @@ func serveCmd(args []string) error {
 	}
 	var handler http.Handler = serve.NewHandler(svc)
 	var node *cluster.Node
-	if *peers != "" {
+	if clustered {
 		self := *advertise
 		if self == "" {
 			self = deriveSelf(*addr)
 		}
 		n, err := cluster.NewNode(cluster.Config{
-			Self:          self,
-			Peers:         splitPeers(*peers),
-			Steer:         *steer,
-			Registry:      reg,
-			DefaultEngine: svc.DefaultEngine(),
-			Invalidate:    svc.InvalidateEngine,
+			Self:           self,
+			Peers:          splitPeers(*peers),
+			Steer:          *steer,
+			Registry:       reg,
+			DefaultEngine:  svc.DefaultEngine(),
+			Invalidate:     svc.InvalidateEngine,
+			Token:          *clusterToken,
+			HealthInterval: *healthInterval,
+			TraceDump:      svc.TraceJSONL,
+			WarmOwned: func(data []byte, owns func(engine, gpuName string) bool) (int, error) {
+				return svc.WarmFromTraceData(context.Background(), data, owns)
+			},
 		})
 		if err != nil {
 			return err
 		}
 		node = n
+		if *join != "" {
+			// Join before the listener opens: the seed hands back the
+			// membership and generation views, and the trace warmup below
+			// primes the shards this member is about to own — its first
+			// steered request should be a cache hit, not a cold model run.
+			if err := node.Join(context.Background(), *join); err != nil {
+				return err
+			}
+			warmed, skipped, werr := node.WarmFromOwners(context.Background())
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "neusight: join warmup: %v\n", werr)
+			}
+			fmt.Printf("joined cluster via %s: members [%s], %d forecasts warmed (%d peers skipped)\n",
+				*join, strings.Join(node.Members(), " "), warmed, skipped)
+		}
 		handler = node.Handler(handler)
 		node.Start()
 		defer node.Stop()
@@ -551,7 +615,8 @@ func serveCmd(args []string) error {
 	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
 	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
 	if node != nil {
-		fmt.Println("           GET|POST /v2/cluster/generations (gossip)  GET /v2/cluster/ring (membership)")
+		fmt.Println("           GET|POST /v2/cluster/generations (gossip)  GET /v2/cluster/ring (assignments)")
+		fmt.Println("           GET /v2/cluster/health (failure detector)  POST /v2/cluster/join  GET /v2/cluster/trace")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

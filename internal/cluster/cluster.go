@@ -1,7 +1,7 @@
 // Package cluster makes N `neusight serve` processes behave as one
-// coherent service. Each process runs a Node — a thin peer layer over the
-// serving stack — that adds the two mechanisms a multi-process deployment
-// needs beyond what a single process provides:
+// coherent, self-healing service. Each process runs a Node — a thin peer
+// layer over the serving stack — that adds the mechanisms a multi-process
+// deployment needs beyond what a single process provides:
 //
 //   - Generation gossip (gossip.go): a process that retrains an engine (or
 //     grows its tile database) bumps that engine's state generation, which
@@ -13,20 +13,40 @@
 //     engine's cached forecasts, so no replica keeps serving a stale
 //     prediction after a retrain anywhere in the cluster.
 //
-//   - Shard-aware steering (steer.go): the consistent-hash ring that
+//   - Dynamic membership and failure detection (membership.go, health.go):
+//     membership is state, not configuration. A process joins by
+//     contacting any member (POST /v2/cluster/join) and is announced to
+//     everyone through the gossip channel's membership view; every member
+//     runs a failure detector fed by gossip contacts and a background
+//     health sweep, declaring unresponsive members suspect then dead.
+//     Dead members are evicted from the ring automatically — and
+//     readmitted by their first successful contact, so a restart heals
+//     without operator action. GET /v2/cluster/health exposes the state.
+//
+//   - Replicated shard steering (steer.go): the consistent-hash ring that
 //     assigns (engine, GPU) keys to in-process shards is extended across
-//     the cluster: a membership ring over the member addresses assigns
-//     every key one owning process. A prediction request landing on the
-//     wrong process is steered to the owner — a 307 redirect by default,
-//     or a transparent proxy in proxy mode — so each key's cache,
-//     coalescing table, and trace profile concentrate on one process
-//     instead of being duplicated N ways. GET /v2/cluster/ring exposes the
-//     assignment; steered/redirected/proxied/mis-routed counters are
-//     exported to Prometheus.
+//     the cluster, and every key gets a primary owner plus a distinct
+//     replica. A prediction request landing on the wrong process is
+//     steered to the owner — a 307 redirect by default, or a transparent
+//     proxy — and when the primary is unreachable the proxy falls through
+//     to the replica (one retry, counted) instead of failing the request;
+//     redirect mode sends clients straight to the replica once the
+//     primary is marked dead. GET /v2/cluster/ring exposes the
+//     assignment; all steering/failover counters are exported to
+//     Prometheus.
+//
+//   - Join warmup (membership.go): a joining member pulls the recorded
+//     workload traces of the members currently owning the shards it will
+//     acquire (GET /v2/cluster/trace) and primes its caches with the keys
+//     it now owns, so its first steered request is a cache hit.
+//
+// All /v2/cluster/* control routes can require a shared bearer token
+// (Config.Token); requests without it are rejected with 401 and counted.
 //
 // The Node deliberately does not import the serving layer: cache
-// invalidation is a callback (Config.Invalidate), and steering wraps any
-// http.Handler. cmd/neusight wires the two together.
+// invalidation, trace export, and warmup are callbacks (Config.Invalidate,
+// Config.TraceDump, Config.WarmOwned), and steering wraps any
+// http.Handler. cmd/neusight wires the pieces together.
 package cluster
 
 import (
@@ -34,6 +54,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -69,17 +90,37 @@ type Config struct {
 	// the node's identity on the membership ring and the address gossip
 	// messages advertise.
 	Self string
-	// Peers are the other members' addresses. The membership ring is built
-	// over Self + Peers; every member must be given the same set (modulo
-	// itself) or steering will mis-route.
+	// Peers seeds the membership with the other members' addresses. Unlike
+	// the static clusters of old, the set then evolves at runtime: members
+	// join via /v2/cluster/join or gossiped membership views, and dead
+	// members are evicted from the ring by the failure detector.
 	Peers []string
 	// Steer selects the steering mode (SteerRedirect, SteerProxy,
 	// SteerOff). Empty means SteerRedirect.
 	Steer string
 	// PollInterval is the gossip cadence; zero means DefaultPollInterval.
+	// Each round's actual delay is jittered ±20% so simultaneously started
+	// members do not synchronize into thundering herds.
 	PollInterval time.Duration
-	// Client issues outbound gossip and proxy requests; nil gets a client
-	// with a sane timeout.
+	// HealthInterval is the health sweeper's cadence (same jitter); zero
+	// means DefaultHealthInterval.
+	HealthInterval time.Duration
+	// RequestTimeout bounds every individual outbound request (gossip
+	// push/poll, probe, proxy attempt, join, trace fetch); zero means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// SuspectAfter and DeadAfter are the failure detector's strike
+	// thresholds (failed contacts before suspect / dead); zero means the
+	// defaults.
+	SuspectAfter int
+	DeadAfter    int
+	// Token, when non-empty, is the shared bearer token every
+	// /v2/cluster/* request must carry (Authorization: Bearer <token>).
+	// Outbound control-plane requests attach it automatically.
+	Token string
+	// Client issues outbound gossip, probe, and proxy requests; nil gets a
+	// client with a sane backstop timeout (per-attempt deadlines come from
+	// RequestTimeout).
 	Client *http.Client
 	// Registry is the local engine registry: the source of local engine
 	// generations and shard affinities.
@@ -91,23 +132,40 @@ type Config struct {
 	// returning how many entries were dropped (serve.Service.
 	// InvalidateEngine). Nil disables invalidation (gossip still tracked).
 	Invalidate func(engine string) int
+	// TraceDump returns this member's recorded workload trace as JSONL —
+	// what GET /v2/cluster/trace serves to joining members. Nil (or a nil
+	// return) serves an empty trace.
+	TraceDump func() []byte
+	// WarmOwned primes the local caches from a peer's JSONL trace data,
+	// keeping only entries whose (engine, GPU) key owns reports true, and
+	// returns how many forecasts were warmed
+	// (serve.Service.WarmFromTraceData). Nil disables join warmup.
+	WarmOwned func(data []byte, owns func(engine, gpu string) bool) (int, error)
 }
 
-// Node is one cluster member: the membership ring, the gossip state, and
-// the steering counters. Safe for concurrent use.
+// Node is one cluster member: the membership ring, the failure detector,
+// the gossip state, and the steering counters. Safe for concurrent use.
 type Node struct {
-	self       string
-	steerMode  string
-	interval   time.Duration
-	client     *http.Client
-	reg        *predict.Registry
-	def        string
-	invalidate func(string) int
+	self           string
+	steerMode      string
+	interval       time.Duration
+	healthInterval time.Duration
+	reqTimeout     time.Duration
+	suspectAfter   int
+	deadAfter      int
+	token          string
+	client         *http.Client
+	reg            *predict.Registry
+	def            string
+	invalidate     func(string) int
+	traceDump      func() []byte
+	warmOwned      func([]byte, func(string, string) bool) (int, error)
 
-	// mu guards the membership: the peer list and the ring built over it.
-	mu    sync.RWMutex
-	peers []string
-	ring  []memberPoint
+	// mu guards the membership — the per-member failure-detector records —
+	// and the ring built over its non-dead members.
+	mu      sync.RWMutex
+	members map[string]*memberState
+	ring    []memberPoint
 
 	// instance identifies this process incarnation (random, nonzero) so
 	// peers can tell a counter bump from a restart (see OriginView).
@@ -115,11 +173,12 @@ type Node struct {
 
 	// gmu guards known: the highest generation seen per (origin member,
 	// engine) — this node's own registry under its own address, peers'
-	// slices merged in by absorbed gossip. published is the last snapshot
-	// pushed, so pushes happen only on change.
-	gmu       sync.Mutex
-	known     map[string]*originState
-	published map[string]OriginView
+	// slices merged in by absorbed gossip. published/publishedMembers are
+	// the last snapshot pushed, so pushes happen only on change.
+	gmu              sync.Mutex
+	known            map[string]*originState
+	published        map[string]OriginView
+	publishedMembers map[string]MemberInfo
 
 	// gossip counters
 	pushes         atomic.Uint64
@@ -131,19 +190,31 @@ type Node struct {
 	droppedEntries atomic.Uint64
 	foreignOrigins atomic.Uint64
 
+	// health / membership counters
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	evictions     atomic.Uint64
+	readmissions  atomic.Uint64
+	joinsAccepted atomic.Uint64
+	authRejected  atomic.Uint64
+
 	// steering counters
 	steered       atomic.Uint64
 	redirected    atomic.Uint64
 	proxied       atomic.Uint64
 	misrouted     atomic.Uint64
 	proxyFailures atomic.Uint64
+	proxyTimeouts atomic.Uint64
+	failedOver    atomic.Uint64
+	relayErrors   atomic.Uint64
 
 	stop chan struct{}
-	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // NewNode validates cfg and builds the member ring. The node is inert
-// until Start (gossip) and Handler (steering) attach it to traffic.
+// until Start (gossip + health sweeping) and Handler (steering) attach it
+// to traffic.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: Self address is required")
@@ -165,23 +236,51 @@ func NewNode(cfg Config) (*Node, error) {
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
+	healthInterval := cfg.HealthInterval
+	if healthInterval <= 0 {
+		healthInterval = DefaultHealthInterval
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	suspectAfter := cfg.SuspectAfter
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	deadAfter := cfg.DeadAfter
+	if deadAfter <= 0 {
+		deadAfter = DefaultDeadAfter
+	}
+	if deadAfter < suspectAfter {
+		return nil, fmt.Errorf("cluster: DeadAfter (%d) must be >= SuspectAfter (%d)", deadAfter, suspectAfter)
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
+		// Backstop only: per-attempt deadlines come from reqTimeout.
+		client = &http.Client{Timeout: reqTimeout + 3*time.Second}
 	}
 	n := &Node{
-		self:       cfg.Self,
-		steerMode:  mode,
-		interval:   interval,
-		client:     client,
-		reg:        cfg.Registry,
-		def:        cfg.DefaultEngine,
-		invalidate: cfg.Invalidate,
-		instance:   newInstanceID(),
-		known:      map[string]*originState{},
-		published:  map[string]OriginView{},
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		self:             cfg.Self,
+		steerMode:        mode,
+		interval:         interval,
+		healthInterval:   healthInterval,
+		reqTimeout:       reqTimeout,
+		suspectAfter:     suspectAfter,
+		deadAfter:        deadAfter,
+		token:            cfg.Token,
+		client:           client,
+		reg:              cfg.Registry,
+		def:              cfg.DefaultEngine,
+		invalidate:       cfg.Invalidate,
+		traceDump:        cfg.TraceDump,
+		warmOwned:        cfg.WarmOwned,
+		instance:         newInstanceID(),
+		members:          map[string]*memberState{},
+		known:            map[string]*originState{},
+		published:        map[string]OriginView{},
+		publishedMembers: map[string]MemberInfo{},
+		stop:             make(chan struct{}),
 	}
 	n.SetPeers(cfg.Peers)
 	n.gmu.Lock()
@@ -196,51 +295,57 @@ func (n *Node) Self() string { return n.self }
 // Mode returns the steering mode.
 func (n *Node) Mode() string { return n.steerMode }
 
-// SetPeers replaces the peer set and rebuilds the membership ring. Keys
-// hash onto the ring by consistent hashing, so a joining or leaving peer
-// moves only the keys it gains or loses — everyone else's assignment is
-// untouched (see TestSetPeersRebalance).
+// SetPeers reconciles the membership to exactly the given peer set:
+// unknown addresses are admitted as alive, absent ones are forgotten, and
+// members staying keep their failure-detector state. Keys hash onto the
+// ring by consistent hashing, so a joining or leaving peer moves only the
+// keys it gains or loses — everyone else's assignment is untouched (see
+// TestSetPeersRebalance).
 func (n *Node) SetPeers(peers []string) {
-	clean := make([]string, 0, len(peers))
-	seen := map[string]bool{n.self: true}
+	want := map[string]bool{}
 	for _, p := range peers {
 		p = strings.TrimSpace(p)
-		if p == "" || seen[p] {
-			continue
+		if p != "" && p != n.self {
+			want[p] = true
 		}
-		seen[p] = true
-		clean = append(clean, p)
 	}
-	sort.Strings(clean)
-	members := append([]string{n.self}, clean...)
-	ring := buildRing(members)
 	n.mu.Lock()
-	n.peers = clean
-	n.ring = ring
+	for addr := range n.members {
+		if !want[addr] {
+			delete(n.members, addr)
+		}
+	}
+	for addr := range want {
+		if n.members[addr] == nil {
+			n.members[addr] = &memberState{state: MemberAlive}
+		}
+	}
+	n.rebuildRingLocked()
 	n.mu.Unlock()
 }
 
-// Peers returns the current peer addresses, sorted.
+// Peers returns the current peer addresses (every known member but self,
+// whatever its state), sorted.
 func (n *Node) Peers() []string {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return append([]string(nil), n.peers...)
+	peers := make([]string, 0, len(n.members))
+	for addr := range n.members {
+		peers = append(peers, addr)
+	}
+	n.mu.RUnlock()
+	sort.Strings(peers)
+	return peers
 }
 
 // isMember reports whether addr is in the current membership (self or a
-// configured peer).
+// known peer, whatever its state).
 func (n *Node) isMember(addr string) bool {
 	if addr == n.self {
 		return true
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	for _, p := range n.peers {
-		if p == addr {
-			return true
-		}
-	}
-	return false
+	return n.members[addr] != nil
 }
 
 // newInstanceID draws the nonzero random identity of this process
@@ -304,56 +409,107 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// Owner resolves which member owns the (engine, GPU) key: the engine's
-// shard-affinity (falling back to its name when unregistered — the serving
-// layer will reject the request anyway) joined with the canonical GPU
-// name, hashed onto the membership ring. local reports whether this node
-// is the owner. With no peers every key is local.
-func (n *Node) Owner(engine, gpuName string) (addr string, local bool) {
+// affinityOf resolves the shard-affinity key an engine hashes by: its
+// declared affinity when registered, falling back to the name (the
+// serving layer will reject unknown engines anyway). Empty names resolve
+// the default engine.
+func (n *Node) affinityOf(engine string) string {
 	if engine == "" {
 		engine = n.def
 	}
-	affinity := engine
 	if eng, err := n.reg.Get(engine); err == nil {
-		affinity = predict.ShardAffinity(eng)
+		return predict.ShardAffinity(eng)
 	}
+	return engine
+}
+
+// Owners resolves the (engine, GPU) key to its primary owner and the
+// distinct replica that serves when the primary is unreachable: the
+// key hashes onto the membership ring (dead members evicted), the primary
+// is the first point at or after it, and the replica is the next point
+// belonging to a different member. A single-member ring has no replica
+// (empty string).
+func (n *Node) Owners(engine, gpuName string) (primary, replica string) {
+	affinity := n.affinityOf(engine)
 	n.mu.RLock()
 	ring := n.ring
 	n.mu.RUnlock()
 	if len(ring) == 0 {
-		return n.self, true
+		return n.self, ""
 	}
 	h := hash64(affinity + "|" + gpuName)
 	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
 	if i == len(ring) {
 		i = 0 // wrap: the ring is circular
 	}
-	addr = ring[i].addr
+	primary = ring[i].addr
+	for j := 1; j < len(ring); j++ {
+		if addr := ring[(i+j)%len(ring)].addr; addr != primary {
+			return primary, addr
+		}
+	}
+	return primary, ""
+}
+
+// Owner resolves which member owns the (engine, GPU) key as primary.
+// local reports whether this node is that owner. With no peers every key
+// is local.
+func (n *Node) Owner(engine, gpuName string) (addr string, local bool) {
+	addr, _ = n.Owners(engine, gpuName)
 	return addr, addr == n.self
 }
 
-// Start launches the gossip loop: every PollInterval the node snapshots
-// its local registry, pushes to every peer when something changed, and
-// polls every peer for their view. Stop ends it.
-func (n *Node) Start() {
-	go func() {
-		defer close(n.done)
-		ticker := time.NewTicker(n.interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-n.stop:
-				return
-			case <-ticker.C:
-				n.SyncNow()
-			}
-		}
-	}()
+// route resolves where a request for the (engine, GPU) key should be
+// served right now: the primary unless it is marked dead, in which case
+// the replica takes over and there is no further fallback. fallback is
+// the replica to retry when a proxy attempt to owner fails mid-flight
+// (the primary died but the detector has not caught up yet).
+func (n *Node) route(engine, gpuName string) (owner, fallback string, local bool) {
+	primary, replica := n.Owners(engine, gpuName)
+	owner, fallback = primary, replica
+	if replica != "" && n.memberDead(primary) {
+		owner, fallback = replica, ""
+	}
+	return owner, fallback, owner == n.self
 }
 
-// Stop ends the gossip loop started by Start and waits for it to exit.
+// Start launches the background loops: gossip every PollInterval and a
+// health sweep every HealthInterval, each delay jittered ±20% so a fleet
+// started simultaneously does not synchronize its rounds into periodic
+// thundering herds. Stop ends both.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.loop(n.interval, n.SyncNow)
+	go n.loop(n.healthInterval, n.ProbeNow)
+}
+
+// loop runs f every interval (jittered) until Stop.
+func (n *Node) loop(interval time.Duration, f func()) {
+	defer n.wg.Done()
+	for {
+		t := time.NewTimer(jitter(interval))
+		select {
+		case <-n.stop:
+			t.Stop()
+			return
+		case <-t.C:
+			f()
+		}
+	}
+}
+
+// jitter spreads d uniformly over [0.8d, 1.2d].
+func jitter(d time.Duration) time.Duration {
+	span := int64(2 * d / 5)
+	if span <= 0 {
+		return d
+	}
+	return d - d/5 + time.Duration(rand.Int63n(span+1))
+}
+
+// Stop ends the loops started by Start and waits for them to exit.
 // Safe to call once; a node that was never started must not call Stop.
 func (n *Node) Stop() {
 	close(n.stop)
-	<-n.done
+	n.wg.Wait()
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 
 	"neusight/internal/predict"
@@ -28,19 +29,26 @@ type OriginView struct {
 
 // GenMessage is the gossip payload exchanged on /v2/cluster/generations:
 // the sender's knowledge of every member's engine-state generations,
-// keyed by the member (origin) that owns them. Generations are
-// per-process counters — two members trained independently sit at
-// arbitrary, incomparable values — so views must be exchanged per
-// origin: a single cluster-wide max would permanently mask retrains on
-// any member whose counter sits below another's. Views merge before they
-// are served, so gossip is transitive — C polling B learns about A's
-// retrain even if A's push to C was lost.
+// keyed by the member (origin) that owns them, plus its membership view.
+// Generations are per-process counters — two members trained
+// independently sit at arbitrary, incomparable values — so views must be
+// exchanged per origin: a single cluster-wide max would permanently mask
+// retrains on any member whose counter sits below another's. Views merge
+// before they are served, so gossip is transitive — C polling B learns
+// about A's retrain even if A's push to C was lost. The membership view
+// rides the same channel and merges the same way, which is how a join
+// accepted by one member reaches every member within a round or two.
 type GenMessage struct {
 	// Node is the advertised address of the sender.
 	Node string `json:"node"`
 	// Views maps member address -> that member's slice of the view, as
 	// far as the sender knows (its own included).
 	Views map[string]OriginView `json:"views"`
+	// Members is the sender's membership view (its own address included).
+	// Absent (nil) on payloads from pre-membership senders or foreign
+	// clients — such payloads cannot grow the membership, and their
+	// unknown origins are still rejected.
+	Members map[string]MemberInfo `json:"members,omitempty"`
 }
 
 // originState is the mutable per-origin record behind Node.known.
@@ -96,11 +104,25 @@ func equalViews(a, b map[string]OriginView) bool {
 	return true
 }
 
-// Snapshot returns this node's per-origin generation view: its own
+// equalMembers reports whether two membership views are identical.
+func equalMembers(a, b map[string]MemberInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for addr, ia := range a {
+		if ib, ok := b[addr]; !ok || ia != ib {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns this node's per-origin generation view — its own
 // registry's generations under its own address, plus everything absorbed
-// from peers. It is what GET /v2/cluster/generations serves and what
-// pushes carry.
+// from peers — and its membership view. It is what GET
+// /v2/cluster/generations serves and what pushes carry.
 func (n *Node) Snapshot() GenMessage {
+	members := n.membersView()
 	n.gmu.Lock()
 	defer n.gmu.Unlock()
 	n.refreshLocalLocked()
@@ -108,24 +130,27 @@ func (n *Node) Snapshot() GenMessage {
 	for origin, st := range n.known {
 		views[origin] = viewOf(st)
 	}
-	return GenMessage{Node: n.self, Views: views}
+	return GenMessage{Node: n.self, Views: views, Members: members}
 }
 
-// Absorb merges a peer's view into this node's. For every origin whose
-// reported generation for an engine is newer than anything seen from
-// that origin's current instance, the engine's locally cached forecasts
-// are dropped via the Invalidate callback: that origin retrained (or
-// first appeared with trained state), so local caches may predate it.
-// Generations are origin-local counters, so no comparison against the
-// local engine's own generation is meaningful — the drop is
-// unconditional on news.
+// Absorb merges a peer's view into this node's. The membership view
+// merges first — members the sender knows and this node does not are
+// admitted (never resurrected from dead; see absorbMembers) — so a
+// just-joined member's own generation slice passes the origin check
+// below. Then, for every origin whose reported generation for an engine
+// is newer than anything seen from that origin's current instance, the
+// engine's locally cached forecasts are dropped via the Invalidate
+// callback: that origin retrained (or first appeared with trained state),
+// so local caches may predate it. Generations are origin-local counters,
+// so no comparison against the local engine's own generation is
+// meaningful — the drop is unconditional on news.
 //
 // Two guards bound what a payload can do:
 //   - echoes of this node's own slice are skipped (the local registry is
-//     authoritative), and origins that are not cluster members are
-//     ignored outright — membership is static configuration, so a
-//     non-member origin is noise or forgery, and tracking it would let
-//     arbitrary clients grow this node's memory and spam invalidations;
+//     authoritative), and origins that are not cluster members — after
+//     the membership merge — are ignored outright: a non-member origin is
+//     noise or forgery, and tracking it would let arbitrary clients grow
+//     this node's memory and spam invalidations;
 //   - an origin reporting a new instance ID voids everything previously
 //     known about it first: a restarted process counts generations from
 //     zero again, and without the reset its retrains would hide behind
@@ -136,6 +161,9 @@ func (n *Node) Snapshot() GenMessage {
 // Returns how many invalidations ran.
 func (n *Node) Absorb(msg GenMessage) int {
 	n.absorbed.Add(1)
+	if len(msg.Members) > 0 {
+		n.absorbMembers(msg.Members)
+	}
 	invalidated := 0
 	for origin, v := range msg.Views {
 		if origin == n.self {
@@ -178,86 +206,115 @@ func (n *Node) Absorb(msg GenMessage) int {
 }
 
 // SyncNow runs one synchronous gossip round: push the snapshot to every
-// peer if it changed since the last push, then poll every peer and absorb
-// their views. The background loop calls it every PollInterval; tests and
-// shutdown paths call it directly for determinism.
+// live peer if it changed since the last push (generation OR membership
+// change), then poll every live peer and absorb their views. Each
+// outbound attempt carries its own RequestTimeout deadline, and each
+// outcome feeds the failure detector. The background loop calls it every
+// PollInterval; tests and shutdown paths call it directly for
+// determinism.
 func (n *Node) SyncNow() {
-	ctx, cancel := context.WithTimeout(context.Background(), n.interval)
-	defer cancel()
+	ctx := context.Background()
 	snap := n.Snapshot()
-	if n.viewChanged(snap.Views) {
+	if n.snapshotChanged(snap) {
 		n.Push(ctx, snap)
-		n.markPublished(snap.Views)
+		n.markPublished(snap)
 	}
 	n.PollPeers(ctx)
 }
 
-// viewChanged reports whether views differs from the last pushed snapshot.
-func (n *Node) viewChanged(views map[string]OriginView) bool {
+// snapshotChanged reports whether snap differs from the last pushed one.
+func (n *Node) snapshotChanged(snap GenMessage) bool {
 	n.gmu.Lock()
 	defer n.gmu.Unlock()
-	return !equalViews(views, n.published)
+	return !equalViews(snap.Views, n.published) || !equalMembers(snap.Members, n.publishedMembers)
 }
 
-// markPublished records views as the last pushed snapshot. Snapshot
-// returns fresh copies, so the map can be retained as-is.
-func (n *Node) markPublished(views map[string]OriginView) {
+// markPublished records snap as the last pushed snapshot. Snapshot
+// returns fresh copies, so the maps can be retained as-is.
+func (n *Node) markPublished(snap GenMessage) {
 	n.gmu.Lock()
-	n.published = views
+	n.published = snap.Views
+	n.publishedMembers = snap.Members
 	n.gmu.Unlock()
 }
 
-// Push POSTs msg to every peer's /v2/cluster/generations, all peers
+// gossipPeers returns the peers gossip contacts this round: every member
+// not currently dead. Dead members are the health sweeper's job — its
+// probe is the readmission path — so gossip rounds do not burn a timeout
+// per dead member forever.
+func (n *Node) gossipPeers() []string {
+	n.mu.RLock()
+	peers := make([]string, 0, len(n.members))
+	for addr, st := range n.members {
+		if st.state != MemberDead {
+			peers = append(peers, addr)
+		}
+	}
+	n.mu.RUnlock()
+	sort.Strings(peers)
+	return peers
+}
+
+// Push POSTs msg to every live peer's /v2/cluster/generations, all peers
 // concurrently: one blackholed peer must burn only its own goroutine's
-// share of the round's deadline, not serialize in front of the healthy
-// peers. Unreachable peers are counted, not retried — the poll side of
-// the protocol (theirs and ours) delivers the update within one interval
-// once they return.
+// per-attempt deadline, not serialize in front of the healthy peers.
+// Unreachable peers are counted (and struck in the failure detector), not
+// retried — the poll side of the protocol (theirs and ours) delivers the
+// update within one interval once they return.
 func (n *Node) Push(ctx context.Context, msg GenMessage) {
 	body, err := json.Marshal(msg)
 	if err != nil {
 		return
 	}
 	var wg sync.WaitGroup
-	for _, peer := range n.Peers() {
+	for _, peer := range n.gossipPeers() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-				"http://"+peer+RouteGenerations, bytes.NewReader(body))
-			if err != nil {
+			ok := n.pushPeer(ctx, peer, body)
+			if ok {
+				n.pushes.Add(1)
+			} else {
 				n.pushFailures.Add(1)
-				return
 			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := n.client.Do(req)
-			if err != nil {
-				n.pushFailures.Add(1)
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				n.pushFailures.Add(1)
-				return
-			}
-			n.pushes.Add(1)
+			n.markContact(peer, ok)
 		}(peer)
 	}
 	wg.Wait()
 }
 
-// PollPeers GETs every peer's /v2/cluster/generations concurrently and
-// absorbs the views (Absorb is thread-safe). This is the lossy-push
+// pushPeer POSTs one gossip payload with a per-attempt deadline.
+func (n *Node) pushPeer(ctx context.Context, peer string, body []byte) bool {
+	ctx, cancel := context.WithTimeout(ctx, n.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+RouteGenerations, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	n.setAuth(req)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// PollPeers GETs every live peer's /v2/cluster/generations concurrently
+// and absorbs the views (Absorb is thread-safe). This is the lossy-push
 // fallback: a node that missed a push (it was restarting, the network
 // hiccuped) converges on the next poll.
 func (n *Node) PollPeers(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, peer := range n.Peers() {
+	for _, peer := range n.gossipPeers() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
 			msg, err := n.pollPeer(ctx, peer)
+			n.markContact(peer, err == nil)
 			if err != nil {
 				n.pollFailures.Add(1)
 				return
@@ -269,13 +326,16 @@ func (n *Node) PollPeers(ctx context.Context) {
 	wg.Wait()
 }
 
-// pollPeer fetches one peer's generation view.
+// pollPeer fetches one peer's generation view with a per-attempt deadline.
 func (n *Node) pollPeer(ctx context.Context, peer string) (GenMessage, error) {
 	var msg GenMessage
+	ctx, cancel := context.WithTimeout(ctx, n.reqTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+RouteGenerations, nil)
 	if err != nil {
 		return msg, err
 	}
+	n.setAuth(req)
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return msg, err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"strings"
@@ -21,26 +22,53 @@ type proc struct {
 	svc  *serve.Service
 	node *Node
 	eng  *stubEngine
+	srv  *http.Server
+}
+
+// procOpts tunes startProcOpts beyond the defaults startProc picks.
+type procOpts struct {
+	lat   float64
+	mode  string
+	addr  string        // "" = any free port
+	token string        // control-plane bearer token
+	sweep time.Duration // health-sweep cadence (0 = package default)
 }
 
 // startProc boots a process whose single engine "alpha" answers lat,
 // serving the cluster-wrapped API on a real TCP listener. Peers are wired
 // afterwards via SetPeers (addresses exist only once listeners are up).
 func startProc(t *testing.T, lat float64, mode string) *proc {
+	return startProcOpts(t, procOpts{lat: lat, mode: mode})
+}
+
+// startProcOpts is startProc with knobs: a fixed listen address (how the
+// kill-a-member test restarts a process at the same identity), a
+// control-plane token, and a health-sweep cadence.
+func startProcOpts(t *testing.T, o procOpts) *proc {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	addr := o.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg, eng := stubRegistry(lat)
+	reg, eng := stubRegistry(o.lat)
 	svc := serve.NewMulti(reg, "alpha", serve.Config{CacheSize: 256})
 	node, err := NewNode(Config{
-		Self:          ln.Addr().String(),
-		Steer:         mode,
-		PollInterval:  50 * time.Millisecond,
-		Registry:      reg,
-		DefaultEngine: "alpha",
-		Invalidate:    svc.InvalidateEngine,
+		Self:           ln.Addr().String(),
+		Steer:          o.mode,
+		PollInterval:   50 * time.Millisecond,
+		HealthInterval: o.sweep,
+		Registry:       reg,
+		DefaultEngine:  "alpha",
+		Invalidate:     svc.InvalidateEngine,
+		Token:          o.token,
+		TraceDump:      svc.TraceJSONL,
+		WarmOwned: func(data []byte, owns func(engine, gpuName string) bool) (int, error) {
+			return svc.WarmFromTraceData(context.Background(), data, owns)
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,8 +76,13 @@ func startProc(t *testing.T, lat float64, mode string) *proc {
 	srv := &http.Server{Handler: node.Handler(serve.NewHandler(svc))}
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })
-	return &proc{addr: ln.Addr().String(), svc: svc, node: node, eng: eng}
+	return &proc{addr: ln.Addr().String(), svc: svc, node: node, eng: eng, srv: srv}
 }
+
+// kill closes the process's listener and connections — the in-test
+// equivalent of SIGKILL: the address stops answering instantly, with no
+// drain and no goodbye to peers.
+func (p *proc) kill() { p.srv.Close() }
 
 // twoProcs boots two peered processes (A answers 1, B answers 2).
 func twoProcs(t *testing.T, mode string) (a, b *proc) {

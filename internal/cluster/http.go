@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 
 	"neusight/internal/gpu"
 )
@@ -16,15 +19,58 @@ const (
 	// RouteGenerations is the gossip endpoint: GET returns this node's
 	// cluster-wide generation view, POST absorbs a peer's push.
 	RouteGenerations = "/v2/cluster/generations"
-	// RouteRing is the membership endpoint: GET returns the member set and
-	// the (engine, GPU) -> owner assignment.
+	// RouteRing is the assignment endpoint: GET returns the member set,
+	// per-member health state, and the (engine, GPU) -> primary/replica
+	// assignment.
 	RouteRing = "/v2/cluster/ring"
+	// RouteHealth is the failure-detector endpoint: GET returns every
+	// member's alive/suspect/dead state and the health counters.
+	RouteHealth = "/v2/cluster/health"
+	// RouteJoin is the membership endpoint: POST admits the announcing
+	// process into the cluster and returns the current membership and
+	// generation views.
+	RouteJoin = "/v2/cluster/join"
+	// RouteTrace is the warmup endpoint: GET returns this member's
+	// recorded workload trace (JSONL), which joining members replay to
+	// warm the shards they acquire.
+	RouteTrace = "/v2/cluster/trace"
 )
+
+// clusterRoutePrefix gates which paths require the control-plane token.
+const clusterRoutePrefix = "/v2/cluster/"
 
 // maxControlBody caps gossip request/response bodies: a generation map
 // over a few dozen engines is a few hundred bytes, so anything beyond a
 // handful of KiB is garbage.
 const maxControlBody = 64 << 10
+
+// maxTraceBody caps how much of a peer's trace a joiner will read: traces
+// are bounded at the recorder (maxTraceKeys distinct keys), but a
+// misbehaving peer must not be able to balloon a joiner's memory.
+const maxTraceBody = 16 << 20
+
+// authorized reports whether r may touch the control plane: always, when
+// no token is configured; otherwise only with the exact bearer token
+// (constant-time compared).
+func (n *Node) authorized(r *http.Request) bool {
+	if n.token == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(h[len(prefix):]), []byte(n.token)) == 1
+}
+
+// setAuth attaches the configured control-plane bearer token to an
+// outbound request; a no-op without one.
+func (n *Node) setAuth(req *http.Request) {
+	if n.token != "" {
+		req.Header.Set("Authorization", "Bearer "+n.token)
+	}
+}
 
 // GenerationsResponse is the JSON reply of GET /v2/cluster/generations:
 // the node's view plus the gossip counters.
@@ -33,23 +79,29 @@ type GenerationsResponse struct {
 	Gossip GossipStats `json:"gossip"`
 }
 
-// RingAssignment is one (engine, GPU) key's owner on GET /v2/cluster/ring.
+// RingAssignment is one (engine, GPU) key's owners on GET /v2/cluster/ring.
 type RingAssignment struct {
 	Engine string `json:"engine"`
 	GPU    string `json:"gpu"`
-	Owner  string `json:"owner"`
-	Local  bool   `json:"local"`
+	// Owner is the primary; Replica (absent on single-member rings) takes
+	// over when the primary is unreachable or dead.
+	Owner   string `json:"owner"`
+	Replica string `json:"replica,omitempty"`
+	Local   bool   `json:"local"`
 }
 
-// RingResponse is the JSON reply of GET /v2/cluster/ring: the membership,
-// the steering mode and counters, and the full assignment of every
-// registered (engine, GPU) pair to its owning member.
+// RingResponse is the JSON reply of GET /v2/cluster/ring: the membership
+// with per-member failure-detector state, the steering mode and counters,
+// and the full assignment of every registered (engine, GPU) pair to its
+// primary and replica members. Members lists only non-dead members — the
+// addresses actually on the ring; MemberStates lists everyone.
 type RingResponse struct {
-	Self        string           `json:"self"`
-	Mode        string           `json:"mode"`
-	Members     []string         `json:"members"`
-	Steering    SteerStats       `json:"steering"`
-	Assignments []RingAssignment `json:"assignments"`
+	Self         string           `json:"self"`
+	Mode         string           `json:"mode"`
+	Members      []string         `json:"members"`
+	MemberStates []MemberStatus   `json:"member_states"`
+	Steering     SteerStats       `json:"steering"`
+	Assignments  []RingAssignment `json:"assignments"`
 }
 
 // handleGenerations serves the gossip endpoint.
@@ -70,39 +122,121 @@ func (n *Node) handleGenerations(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleRing serves the membership endpoint: every registered engine
-// crossed with every registered GPU, each resolved to its owner.
+// handleRing serves the assignment endpoint: every registered engine
+// crossed with every registered GPU, each resolved to its primary and
+// replica owners under the current (dead-members-evicted) ring.
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	resp := RingResponse{Self: n.self, Mode: n.steerMode, Members: n.Members(), Steering: n.SteerStats()}
+	members := []string{n.self}
+	for _, peer := range n.Peers() {
+		if !n.memberDead(peer) {
+			members = append(members, peer)
+		}
+	}
+	sort.Strings(members)
+	resp := RingResponse{
+		Self:         n.self,
+		Mode:         n.steerMode,
+		Members:      members,
+		MemberStates: n.MemberStates(),
+		Steering:     n.SteerStats(),
+	}
 	for _, engine := range n.reg.List() {
 		for _, g := range gpu.All() {
-			owner, local := n.Owner(engine, g.Name)
+			primary, replica := n.Owners(engine, g.Name)
 			resp.Assignments = append(resp.Assignments, RingAssignment{
-				Engine: engine, GPU: g.Name, Owner: owner, Local: local,
+				Engine: engine, GPU: g.Name, Owner: primary, Replica: replica, Local: primary == n.self,
 			})
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleJoin admits a joining process: its address enters the membership
+// as alive (announced onward by the next gossip round), and the reply
+// hands it this member's membership and generation views so it starts
+// from the cluster's current state.
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var jr JoinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxControlBody)).Decode(&jr); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if jr.Addr == "" {
+		writeJSONError(w, http.StatusBadRequest, "join request must carry addr")
+		return
+	}
+	if jr.Addr != n.self {
+		n.AddMember(jr.Addr, jr.Instance)
+		// The joiner just spoke to us: that is a successful contact,
+		// readmitting it if it was a dead member restarting.
+		n.markContact(jr.Addr, true)
+	}
+	n.joinsAccepted.Add(1)
+	snap := n.Snapshot()
+	writeJSON(w, http.StatusOK, JoinResponse{Members: snap.Members, Views: snap.Views})
+}
+
+// handleTrace serves this member's recorded workload trace for join
+// warmup. No recorder (or an empty one) is an empty 200 — joining next to
+// a trace-less member is fine, just cold.
+func (n *Node) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var data []byte
+	if n.traceDump != nil {
+		data = n.traceDump()
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// serveControl dispatches one /v2/cluster/* request through the auth
+// gate. Unknown cluster paths 404 here rather than falling through to the
+// serving layer, so the token boundary covers the whole prefix.
+func (n *Node) serveControl(w http.ResponseWriter, r *http.Request) {
+	if !n.authorized(r) {
+		n.authRejected.Add(1)
+		writeJSONError(w, http.StatusUnauthorized, "cluster: missing or invalid bearer token")
+		return
+	}
+	switch r.URL.Path {
+	case RouteGenerations:
+		n.handleGenerations(w, r)
+	case RouteRing:
+		n.handleRing(w, r)
+	case RouteHealth:
+		n.handleHealth(w, r)
+	case RouteJoin:
+		n.handleJoin(w, r)
+	case RouteTrace:
+		n.handleTrace(w, r)
+	default:
+		writeJSONError(w, http.StatusNotFound, "unknown cluster route")
+	}
+}
+
 // Handler wraps the serving API with the cluster layer: the control
-// routes are served here, prediction POSTs are steered to their shard
-// owner, /metrics gets the cluster families appended, and everything else
-// passes through untouched.
+// routes are served here (behind the token, when configured), prediction
+// POSTs are steered to their shard owner, /metrics gets the cluster
+// families appended, and everything else passes through untouched.
 func (n *Node) Handler(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case RouteGenerations:
-			n.handleGenerations(w, r)
+		if strings.HasPrefix(r.URL.Path, clusterRoutePrefix) {
+			n.serveControl(w, r)
 			return
-		case RouteRing:
-			n.handleRing(w, r)
-			return
-		case "/metrics":
+		}
+		if r.URL.Path == "/metrics" {
 			// The serving layer writes its families, then the cluster
 			// families are appended — text exposition format concatenates.
 			next.ServeHTTP(w, r)
@@ -122,10 +256,13 @@ func (n *Node) Handler(next http.Handler) http.Handler {
 // port while the public API listener omits nothing (the main Handler
 // serves the control routes too).
 func (n *Node) ControlHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc(RouteGenerations, n.handleGenerations)
-	mux.HandleFunc(RouteRing, n.handleRing)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, clusterRoutePrefix) {
+			writeJSONError(w, http.StatusNotFound, "unknown cluster route")
+			return
+		}
+		n.serveControl(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -20,13 +20,34 @@ type clusterMetric struct {
 func (n *Node) WriteMetrics(w io.Writer) error {
 	gs := n.GossipStats()
 	ss := n.SteerStats()
+	hs := n.HealthStats()
+	var suspect, dead float64
+	for _, ms := range n.MemberStates() {
+		switch ms.State {
+		case MemberSuspect:
+			suspect++
+		case MemberDead:
+			dead++
+		}
+	}
 	for _, m := range []clusterMetric{
 		{"neusight_cluster_peers", "Peer processes this node gossips with.", "gauge", float64(len(n.Peers()))},
+		{"neusight_cluster_members_suspect", "Members currently suspected by the failure detector.", "gauge", suspect},
+		{"neusight_cluster_members_dead", "Members currently declared dead (evicted from the ring).", "gauge", dead},
 		{"neusight_cluster_steered_total", "Prediction requests steered to their shard owner (redirected plus proxied).", "counter", float64(ss.Steered)},
 		{"neusight_cluster_redirected_total", "Prediction requests answered with a 307 redirect to the shard owner.", "counter", float64(ss.Redirected)},
 		{"neusight_cluster_proxied_total", "Prediction requests transparently proxied to the shard owner.", "counter", float64(ss.Proxied)},
 		{"neusight_cluster_misrouted_total", "Steered requests arriving at a non-owner (ring disagreement); served locally.", "counter", float64(ss.Misrouted)},
-		{"neusight_cluster_proxy_failures_total", "Proxied requests that failed to reach the shard owner (returned 502).", "counter", float64(ss.ProxyFailures)},
+		{"neusight_cluster_proxy_failures_total", "Proxy attempts that failed to reach the target (non-timeout).", "counter", float64(ss.ProxyFailures)},
+		{"neusight_cluster_proxy_timeouts_total", "Proxy attempts that hit the per-attempt deadline.", "counter", float64(ss.ProxyTimeouts)},
+		{"neusight_cluster_failed_over_total", "Proxied requests retried against the replica after a failed primary attempt.", "counter", float64(ss.FailedOver)},
+		{"neusight_cluster_relay_errors_total", "Proxied responses truncated while relaying the body to the client.", "counter", float64(ss.RelayErrors)},
+		{"neusight_cluster_probes_total", "Health probes issued by the background sweeper.", "counter", float64(hs.Probes)},
+		{"neusight_cluster_probe_failures_total", "Health probes that failed (no 200 within the deadline).", "counter", float64(hs.ProbeFailures)},
+		{"neusight_cluster_evictions_total", "Members declared dead and evicted from the ring.", "counter", float64(hs.Evictions)},
+		{"neusight_cluster_readmissions_total", "Dead members readmitted after a successful contact.", "counter", float64(hs.Readmissions)},
+		{"neusight_cluster_joins_accepted_total", "Join requests admitted on /v2/cluster/join.", "counter", float64(hs.JoinsAccepted)},
+		{"neusight_cluster_auth_rejected_total", "Control-plane requests rejected for a missing or invalid bearer token.", "counter", float64(hs.AuthRejected)},
 		{"neusight_cluster_gossip_pushes_total", "Generation snapshots pushed to peers.", "counter", float64(gs.Pushes)},
 		{"neusight_cluster_gossip_push_failures_total", "Generation pushes that failed to reach a peer.", "counter", float64(gs.PushFailures)},
 		{"neusight_cluster_gossip_polls_total", "Peer generation views polled.", "counter", float64(gs.Polls)},

@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -49,12 +52,15 @@ func alreadySteered(r *http.Request) bool {
 }
 
 // steer routes one prediction request: requests whose (engine, GPU) key
-// this node owns — and requests that were already steered here — are
-// served by next; the rest are redirected or proxied to the owner
-// according to the steering mode. The request body is buffered (bounded)
-// to read the routing fields and restored for whoever serves it;
-// malformed bodies are served locally so the serving layer produces its
-// ordinary 400.
+// this node serves — and requests that were already steered here — go to
+// next; the rest are redirected or proxied to the key's current owner
+// according to the steering mode. "Current owner" means the primary
+// unless the failure detector has declared it dead, in which case the
+// replica has taken over (route); proxy mode additionally falls through
+// to the replica when a live-looking primary turns out unreachable
+// mid-request. The request body is buffered (bounded) to read the routing
+// fields and restored for whoever serves it; malformed bodies are served
+// locally so the serving layer produces its ordinary 400.
 func (n *Node) steer(w http.ResponseWriter, r *http.Request, next http.Handler) {
 	if n.steerMode == SteerOff || len(n.Peers()) == 0 {
 		next.ServeHTTP(w, r)
@@ -82,7 +88,7 @@ func (n *Node) steer(w http.ResponseWriter, r *http.Request, next http.Handler) 
 		return
 	}
 
-	owner, local := n.Owner(hint.Engine, g.Name)
+	owner, fallback, local := n.route(hint.Engine, g.Name)
 	switch {
 	case local:
 		next.ServeHTTP(w, r)
@@ -95,7 +101,7 @@ func (n *Node) steer(w http.ResponseWriter, r *http.Request, next http.Handler) 
 		next.ServeHTTP(w, r)
 	case n.steerMode == SteerProxy:
 		n.steered.Add(1)
-		n.proxyTo(w, r, owner, buf)
+		n.proxyTo(w, r, owner, fallback, buf, next)
 	default:
 		n.steered.Add(1)
 		n.redirectTo(w, r, owner)
@@ -120,41 +126,103 @@ func (n *Node) redirectTo(w http.ResponseWriter, r *http.Request, owner string) 
 }
 
 // proxyTo forwards the buffered request to the owner and relays the
-// response verbatim. An unreachable owner is a 502 — the client can retry
-// (and a retry may be served locally once gossip repairs the peer list).
-func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
-	u := url.URL{Scheme: "http", Host: owner, Path: r.URL.Path, RawQuery: r.URL.RawQuery}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), bytes.NewReader(body))
-	if err != nil {
-		n.proxyFailures.Add(1)
-		writeJSONError(w, http.StatusBadGateway, "cluster: building proxy request: "+err.Error())
+// response. An unreachable owner is not the client's problem when a
+// replica exists: the request falls through to fallback — exactly one
+// retry, counted in FailedOver — and only when both fail (or no replica
+// exists) does the client see a 502. A fallback of self is served by the
+// local handler directly, no loopback HTTP round trip. Each failed
+// attempt also strikes the target in the failure detector, so a few
+// steered requests hitting a crashed primary accelerate its eviction.
+func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, owner, fallback string, body []byte, next http.Handler) {
+	err := n.relayTo(w, r, owner, body)
+	if err == nil {
 		return
+	}
+	n.countProxyError(err)
+	n.markContact(owner, false)
+	if fallback == "" {
+		writeJSONError(w, http.StatusBadGateway, "cluster: shard owner "+owner+" unreachable: "+err.Error())
+		return
+	}
+	n.failedOver.Add(1)
+	if fallback == n.self {
+		// This node is the replica: the body was restored onto r.Body
+		// before routing, so the local handler can consume it.
+		next.ServeHTTP(w, r)
+		return
+	}
+	if err := n.relayTo(w, r, fallback, body); err != nil {
+		n.countProxyError(err)
+		n.markContact(fallback, false)
+		writeJSONError(w, http.StatusBadGateway,
+			"cluster: shard owner "+owner+" and replica "+fallback+" unreachable: "+err.Error())
+	}
+}
+
+// relayTo attempts one proxy hop: forward the buffered request to target
+// with a per-attempt deadline and relay the response — status, every
+// header, body — verbatim. A transport failure before anything was
+// written to w returns the error so the caller can retry elsewhere; once
+// the response starts, a broken relay can only be counted (RelayErrors),
+// not retried.
+func (n *Node) relayTo(w http.ResponseWriter, r *http.Request, target string, body []byte) error {
+	ctx, cancel := context.WithTimeout(r.Context(), n.reqTimeout)
+	defer cancel()
+	u := url.URL{Scheme: "http", Host: target, Path: r.URL.Path, RawQuery: r.URL.RawQuery}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(steerHeader, n.self)
 	resp, err := n.client.Do(req)
 	if err != nil {
-		n.proxyFailures.Add(1)
-		writeJSONError(w, http.StatusBadGateway, "cluster: shard owner "+owner+" unreachable: "+err.Error())
-		return
+		return err
 	}
 	defer resp.Body.Close()
 	n.proxied.Add(1)
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+	n.markContact(target, true)
+	for name, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(name, v)
+		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		n.relayErrors.Add(1)
+	}
+	return nil
+}
+
+// countProxyError classifies one failed proxy attempt: the owner timing
+// out (deadline exceeded) and the owner being unreachable (connection
+// refused, reset, DNS) are different operational signals — a timeout
+// points at overload, unreachable at death — so they count separately.
+func (n *Node) countProxyError(err error) {
+	var ne net.Error
+	if (errors.As(err, &ne) && ne.Timeout()) || errors.Is(err, context.DeadlineExceeded) {
+		n.proxyTimeouts.Add(1)
+		return
+	}
+	n.proxyFailures.Add(1)
 }
 
 // SteerStats is a snapshot of the steering counters, exposed on
 // /v2/cluster/ring.
 type SteerStats struct {
-	Steered       uint64 `json:"steered"`
-	Redirected    uint64 `json:"redirected"`
-	Proxied       uint64 `json:"proxied"`
-	Misrouted     uint64 `json:"misrouted"`
+	Steered    uint64 `json:"steered"`
+	Redirected uint64 `json:"redirected"`
+	Proxied    uint64 `json:"proxied"`
+	Misrouted  uint64 `json:"misrouted"`
+	// ProxyFailures counts proxy attempts that failed without a timeout
+	// (owner unreachable); ProxyTimeouts counts attempts that hit the
+	// per-attempt deadline. FailedOver counts requests that fell through
+	// to the replica after a failed primary attempt; RelayErrors counts
+	// responses truncated mid-relay (headers already sent).
 	ProxyFailures uint64 `json:"proxy_failures"`
+	ProxyTimeouts uint64 `json:"proxy_timeouts"`
+	FailedOver    uint64 `json:"failed_over"`
+	RelayErrors   uint64 `json:"relay_errors"`
 }
 
 // SteerStats returns the current steering counters.
@@ -165,5 +233,8 @@ func (n *Node) SteerStats() SteerStats {
 		Proxied:       n.proxied.Load(),
 		Misrouted:     n.misrouted.Load(),
 		ProxyFailures: n.proxyFailures.Load(),
+		ProxyTimeouts: n.proxyTimeouts.Load(),
+		FailedOver:    n.failedOver.Load(),
+		RelayErrors:   n.relayErrors.Load(),
 	}
 }

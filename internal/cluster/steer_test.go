@@ -189,20 +189,90 @@ func TestSteeringPassesBadBodiesThrough(t *testing.T) {
 	}
 }
 
-// TestProxyOwnerUnreachable: an unreachable owner is a 502 with the
-// failure counted — not a hang, not a silent local answer.
-func TestProxyOwnerUnreachable(t *testing.T) {
+// TestProxyOwnerUnreachableFailsOverToSelf: with one unreachable peer,
+// every peer-owned key's replica is this node — so a proxy attempt that
+// cannot reach the primary falls through to serving locally, counted,
+// instead of handing the client a 502.
+func TestProxyOwnerUnreachableFailsOverToSelf(t *testing.T) {
 	a := startProc(t, 1, SteerProxy)
 	// A peer that is not listening: port 1 on localhost.
 	dead := "127.0.0.1:1"
 	a.node.SetPeers([]string{dead})
 	gDead := gpuOwnedBy(t, a.node, dead)
-	_, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gDead)
-	if code != http.StatusBadGateway {
-		t.Fatalf("unreachable owner = %d, want 502", code)
+	lat, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", gDead)
+	if code != http.StatusOK || lat != 1 {
+		t.Fatalf("unreachable owner = (%v, %d), want latency 1 served by the local replica", lat, code)
 	}
-	if st := a.node.SteerStats(); st.ProxyFailures != 1 {
-		t.Fatalf("A steering stats = %+v, want 1 proxy failure", st)
+	st := a.node.SteerStats()
+	if st.FailedOver != 1 || st.ProxyFailures != 1 {
+		t.Fatalf("A steering stats = %+v, want 1 failed_over and 1 proxy failure", st)
+	}
+	if st.RelayErrors != 0 {
+		t.Fatalf("A steering stats = %+v, want 0 relay errors", st)
+	}
+}
+
+// gpuOwnedByNeither finds a GPU whose (alpha, GPU) key has both primary
+// and replica on other members, from n's view of the ring.
+func gpuOwnedByNeither(t *testing.T, n *Node, self string) gpu.Spec {
+	t.Helper()
+	for _, g := range gpu.All() {
+		primary, replica := n.Owners("alpha", g.Name)
+		if primary != self && replica != self && replica != "" {
+			return g
+		}
+	}
+	t.Fatalf("no registered GPU has both owners off %s — ring degenerate", self)
+	return gpu.Spec{}
+}
+
+// TestProxyBothOwnersDead: when the primary AND the replica are
+// unreachable, the client finally sees the 502 — one retry, not an
+// unbounded walk of the ring.
+func TestProxyBothOwnersDead(t *testing.T) {
+	a := startProc(t, 1, SteerProxy)
+	a.node.SetPeers([]string{"127.0.0.1:1", "127.0.0.1:2"})
+	g := gpuOwnedByNeither(t, a.node, a.addr)
+	_, code := postKernel(t, noFollow(), "http://"+a.addr+"/v2/predict/kernel", g)
+	if code != http.StatusBadGateway {
+		t.Fatalf("both owners unreachable = %d, want 502", code)
+	}
+	st := a.node.SteerStats()
+	if st.FailedOver != 1 {
+		t.Fatalf("A steering stats = %+v, want 1 failed_over (exactly one retry)", st)
+	}
+	if st.ProxyFailures+st.ProxyTimeouts != 2 {
+		t.Fatalf("A steering stats = %+v, want 2 failed attempts", st)
+	}
+}
+
+// TestRedirectToReplicaWhenPrimaryDead: once the failure detector
+// declares a member dead, its keys' redirects point at the replica — the
+// next distinct member on the ring — not at the corpse.
+func TestRedirectToReplicaWhenPrimaryDead(t *testing.T) {
+	a := startProc(t, 1, SteerRedirect)
+	a.node.SetPeers([]string{"127.0.0.1:1", "127.0.0.1:2"})
+	g := gpuOwnedByNeither(t, a.node, a.addr)
+	primary, replica := a.node.Owners("alpha", g.Name)
+
+	for i := 0; i < DefaultDeadAfter; i++ {
+		a.node.markContact(primary, false)
+	}
+	resp, err := noFollow().Post("http://"+a.addr+"/v2/predict/kernel", "application/json",
+		strings.NewReader(kernelBody(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status = %d, want 307", resp.StatusCode)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Host != replica {
+		t.Fatalf("redirect host = %s, want replica %s (primary %s is dead)", loc.Host, replica, primary)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -135,12 +136,17 @@ type TraceRecorder struct {
 	dropped uint64 // novel keys not recorded (dedup set full or write error)
 	err     error  // first write error; recording stops permanently
 
+	// loaded and fresh retain the recorder's entries in memory (bounded by
+	// the same maxTraceKeys cap as the dedup set): the carried-over file
+	// entries and the keys newly recorded this run. Compaction ages them;
+	// Entries serves them to joining cluster members.
+	loaded []compactEntry
+	fresh  []TraceEntry
+
 	// Compaction state, populated only when compactAfter > 0.
 	compactAfter int
-	loaded       []compactEntry      // entries carried over from the file
 	agedOut      int                 // entries pruned at open (idle >= bound, duplicate, unreplayable)
 	touched      map[string]struct{} // keys requested this run
-	fresh        []TraceEntry        // keys newly recorded this run
 }
 
 // NewTraceRecorder opens (creating or appending to) the trace at path.
@@ -190,9 +196,7 @@ func newTraceRecorder(path string, compactAfter int) (*TraceRecorder, error) {
 				continue
 			}
 			r.seen[key] = struct{}{}
-			if compactAfter > 0 {
-				r.loaded = append(r.loaded, compactEntry{key: key, e: e})
-			}
+			r.loaded = append(r.loaded, compactEntry{key: key, e: e})
 		}
 	}
 	if r.agedOut > 0 {
@@ -251,9 +255,21 @@ func (r *TraceRecorder) record(engine string, k kernels.Kernel, g gpu.Spec, touc
 		r.dropped++
 		return
 	}
-	if r.compactAfter > 0 {
-		r.fresh = append(r.fresh, entry)
+	r.fresh = append(r.fresh, entry)
+}
+
+// Entries returns every entry this recorder knows: what it loaded from
+// the trace file plus what it recorded this run. The copy is what
+// Service.TraceJSONL serializes for joining cluster members.
+func (r *TraceRecorder) Entries() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEntry, 0, len(r.loaded)+len(r.fresh))
+	for _, ce := range r.loaded {
+		out = append(out, ce.e)
 	}
+	out = append(out, r.fresh...)
+	return out
 }
 
 // Touch marks the (engine, kernel, GPU) key as requested this run without
@@ -459,7 +475,15 @@ func ReadTrace(path string) (entries []TraceEntry, skipped int, err error) {
 		return nil, 0, fmt.Errorf("serve: open trace: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 64*1024)
+	entries, skipped = readTraceEntries(f)
+	return entries, skipped, nil
+}
+
+// readTraceEntries parses JSONL trace data from r with ReadTrace's
+// damage tolerance. It is the shared core of file replay (ReadTrace) and
+// peer-trace replay (Service.WarmFromTraceData).
+func readTraceEntries(r io.Reader) (entries []TraceEntry, skipped int) {
+	br := bufio.NewReaderSize(r, 64*1024)
 	for {
 		line, isPrefix, readErr := br.ReadLine()
 		if readErr != nil {
@@ -493,7 +517,7 @@ func ReadTrace(path string) (entries []TraceEntry, skipped int, err error) {
 		}
 		entries = append(entries, e)
 	}
-	return entries, skipped, nil
+	return entries, skipped
 }
 
 // WarmupStats reports one trace replay, exposed in the "warmup" section
@@ -525,8 +549,6 @@ func (s *Service) Warmup() *WarmupStats { return s.warmup.Load() }
 // /v2/stats, is the separate accounting.
 func (s *Service) WarmFromTrace(ctx context.Context, path string) (WarmupStats, error) {
 	start := time.Now()
-	s.warming.Store(true)
-	defer s.warming.Store(false)
 	ws := WarmupStats{Source: path}
 	entries, skipped, err := ReadTrace(path)
 	ws.Skipped = skipped
@@ -534,6 +556,45 @@ func (s *Service) WarmFromTrace(ctx context.Context, path string) (WarmupStats, 
 		return ws, err
 	}
 	ws.Entries = len(entries)
+	s.warmEntries(ctx, entries, &ws)
+	ws.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	s.warmup.Store(&ws)
+	return ws, ctx.Err()
+}
+
+// WarmFromTraceData replays JSONL trace data (a peer's recorded trace,
+// fetched over the cluster's /v2/cluster/trace) through the serving path,
+// priming only the entries whose (engine, GPU) key owns reports true —
+// the shards this process is about to serve. It returns how many
+// forecasts were primed. Damage tolerance matches WarmFromTrace: corrupt
+// lines and unknown engines/GPUs/ops degrade the warmup, never abort it.
+func (s *Service) WarmFromTraceData(ctx context.Context, data []byte, owns func(engine, gpuName string) bool) (int, error) {
+	entries, _ := readTraceEntries(bytes.NewReader(data))
+	if owns != nil {
+		kept := entries[:0]
+		for _, e := range entries {
+			g, err := gpu.Lookup(e.GPU)
+			if err != nil {
+				continue
+			}
+			if owns(e.Engine, g.Name) {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	var ws WarmupStats
+	s.warmEntries(ctx, entries, &ws)
+	return ws.Warmed, ctx.Err()
+}
+
+// warmEntries replays parsed trace entries, accumulating Warmed/Failed
+// into ws. The warming flag keeps the replay's cache fills out of trace
+// compaction's touch accounting (a replay re-requests the whole trace by
+// construction).
+func (s *Service) warmEntries(ctx context.Context, entries []TraceEntry, ws *WarmupStats) {
+	s.warming.Store(true)
+	defer s.warming.Store(false)
 
 	// Group by (engine, GPU): each group is one batched replay against one
 	// partition.
@@ -605,7 +666,24 @@ func (s *Service) WarmFromTrace(ctx context.Context, path string) (WarmupStats, 
 	wg.Wait()
 	ws.Warmed += warmed
 	ws.Failed += failed
-	ws.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
-	s.warmup.Store(&ws)
-	return ws, ctx.Err()
+}
+
+// TraceJSONL serializes the attached recorder's entries as JSONL — what
+// the cluster layer serves on /v2/cluster/trace for joining members. Nil
+// without a recorder.
+func (s *Service) TraceJSONL() []byte {
+	r := s.recorder.Load()
+	if r == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, e := range r.Entries() {
+		line, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
 }

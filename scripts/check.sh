@@ -40,6 +40,12 @@ if [[ "$fast" == 1 ]]; then
 else
   echo "==> go test -race ./..."
   go test -race ./...
+
+  # Kill-a-member e2e: a real three-process cluster loses a member to
+  # SIGKILL mid-traffic and must fail over, evict, and readmit — the
+  # self-healing contract exercised against real processes, not httptest.
+  echo "==> cluster kill-a-member e2e (scripts/e2e_cluster.sh)"
+  bash scripts/e2e_cluster.sh
 fi
 
 # Docs gate: every versioned route the code actually serves must be
