@@ -62,6 +62,7 @@ func loadgenCmd(args []string) error {
 	engine := fs.String("engine", "", "per-request /v2 engine name (empty = server default)")
 	tracePath := fs.String("trace", "", "replay this recorded workload trace instead of a generated mix")
 
+	observeFeedback := fs.Bool("observe-feedback", false, "report each successful kernel request's measured latency back via POST /v2/observe after every step (target must run with -observe)")
 	maxInFlight := fs.Int("max-inflight", 0, "cap on outstanding requests; arrivals past it are shed as drops (0 = default, negative = unbounded)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout; a timed-out request counts as errored")
 	outPath := fs.String("out", "", "write the JSON report here instead of stdout")
@@ -106,10 +107,11 @@ func loadgenCmd(args []string) error {
 	defer tgt.Client.CloseIdleConnections()
 
 	runCfg := loadgen.RunConfig{
-		Arrival:     spec,
-		Scenario:    scenario,
-		MaxInFlight: *maxInFlight,
-		Timeout:     *timeout,
+		Arrival:         spec,
+		Scenario:        scenario,
+		MaxInFlight:     *maxInFlight,
+		Timeout:         *timeout,
+		ObserveFeedback: *observeFeedback,
 	}
 	report := loadgen.Report{
 		Kind:     loadgen.ReportKind,
@@ -168,6 +170,10 @@ func loadgenCmd(args []string) error {
 		report.Run = &res
 		fmt.Fprintf(os.Stderr, "loadgen: %d sent, %d ok, %d rejected, %d errored, %d dropped; p50 %.3fms p99 %.3fms p999 %.3fms\n",
 			res.Sent, res.Succeeded, res.Rejected, res.Errored, res.Dropped, res.P50Ms, res.P99Ms, res.P999Ms)
+		if *observeFeedback {
+			fmt.Fprintf(os.Stderr, "loadgen: fed back %d observations via /v2/observe (%d rejected)\n",
+				res.Observed, res.ObserveRejected)
+		}
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")

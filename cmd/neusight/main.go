@@ -19,6 +19,7 @@
 //	                 [-join host2:8080] [-steer redirect|proxy|off]
 //	                 [-advertise host1:8080] [-cluster-listen :9090]
 //	                 [-cluster-token secret] [-health-interval 1s]
+//	                 [-observe] [-drift-threshold 0.25] [-observe-store obs.jsonl]
 //	neusight loadgen (-target http://host:8080 | -self roofline) \
 //	                 (-rate 500 -duration 10s | -sweep 100:100:2000) \
 //	                 [-arrival poisson|bursty -burst-on 20ms -burst-off 80ms]
@@ -64,6 +65,7 @@ import (
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
 	"neusight/internal/models"
+	"neusight/internal/observe"
 	"neusight/internal/predict"
 	"neusight/internal/report"
 	"neusight/internal/serve"
@@ -417,6 +419,10 @@ func serveCmd(args []string) error {
 	clusterListen := fs.String("cluster-listen", "", "optional extra listener serving only the cluster control routes (/v2/cluster/*)")
 	clusterToken := fs.String("cluster-token", "", "shared bearer token required on all /v2/cluster/* control routes (every member must use the same one)")
 	healthInterval := fs.Duration("health-interval", 0, "cluster health-sweep cadence driving the suspect/dead failure detector (0 = default 1s)")
+	observeFlag := fs.Bool("observe", false, "accept measured kernel latencies on POST /v2/observe and track prediction drift (retrainable engines background-retrain past -drift-threshold)")
+	driftThreshold := fs.Float64("drift-threshold", observe.DefaultThreshold, "rolling-MAPE level above which a retrainable engine recalibrates from observations (requires -observe)")
+	observeStore := fs.String("observe-store", "", "persist observations to this bounded JSONL store, replayed into drift windows on restart (requires -observe)")
+	observeCap := fs.Int("observe-cap", 0, fmt.Sprintf("observation store capacity in records, oldest evicted (0 = default %d; requires -observe-store)", observe.DefaultStoreCap))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -425,6 +431,18 @@ func serveCmd(args []string) error {
 	}
 	if *traceCompact > 0 && *tracePath == "" {
 		return fmt.Errorf("serve: -trace-compact requires -trace-record")
+	}
+	if !*observeFlag && (*observeStore != "" || *driftThreshold != observe.DefaultThreshold) {
+		return fmt.Errorf("serve: -observe-store and -drift-threshold require -observe")
+	}
+	if *driftThreshold <= 0 {
+		return fmt.Errorf("serve: -drift-threshold must be positive, got %v", *driftThreshold)
+	}
+	if *observeCap != 0 && *observeStore == "" {
+		return fmt.Errorf("serve: -observe-cap requires -observe-store")
+	}
+	if *observeCap < 0 {
+		return fmt.Errorf("serve: -observe-cap must be >= 0, got %d", *observeCap)
 	}
 	clustered := *peers != "" || *join != ""
 	if (*clusterListen != "" || *advertise != "" || *clusterToken != "" || *healthInterval != 0) && !clustered {
@@ -443,6 +461,11 @@ func serveCmd(args []string) error {
 	}
 	reg := predict.NewRegistry()
 	defaultEngine := predict.EngineNeuSight
+	// baseDS is the -quick run's generated dataset, retained so calibration
+	// retrains keep the offline distribution under the folded observations
+	// (nil for -model and -engines: calibration then trains on observations
+	// alone).
+	var baseDS *dataset.Dataset
 	if *engineList != "" {
 		// Model-free serving: only engines that need no training can run
 		// without a predictor (-model) or an in-process dataset (-quick).
@@ -501,11 +524,63 @@ func serveCmd(args []string) error {
 			}
 			reg.MustRegister(eng)
 		}
+		baseDS = ds
 	}
 	svc := serve.NewMulti(reg, defaultEngine, serve.Config{
 		CacheSize: *cacheSize, Workers: *workers,
 		Shards: *shards, ShardQueue: *shardQueue,
 	})
+	if *observeFlag {
+		ocfg := observe.Config{Threshold: *driftThreshold}
+		if *observeStore != "" {
+			st, err := observe.OpenStore(*observeStore, *observeCap)
+			if err != nil {
+				return err
+			}
+			ocfg.Store = st
+		}
+		mon := observe.NewMonitor(ocfg, func(ctx context.Context, engine string, k kernels.Kernel, g gpu.Spec) (float64, error) {
+			res, err := svc.PredictKernelEngine(ctx, engine, k, g)
+			return res.Latency, err
+		})
+		// Engines that can fold observations back in AND version their state
+		// get a retrainer: a recalibration must bump the generation, or the
+		// serving caches (local and cluster-wide, via gossip) would keep
+		// answering from the pre-retrain model. Everything else is tracked
+		// alert-only.
+		for _, name := range reg.List() {
+			eng, err := reg.Get(name)
+			if err != nil {
+				continue
+			}
+			cal, ok := eng.(predict.Calibrator)
+			if !ok {
+				continue
+			}
+			if _, ok := eng.(predict.Generational); !ok {
+				continue
+			}
+			mon.RegisterRetrainer(name, func(calib []dataset.Sample) (uint64, error) {
+				if err := cal.Calibrate(baseDS, calib); err != nil {
+					return predict.Generation(eng), err
+				}
+				return predict.Generation(eng), nil
+			})
+		}
+		if ocfg.Store != nil {
+			replayed, skipped := mon.ReplayStore(context.Background())
+			fmt.Printf("observe: store %s, %d persisted observations replayed (%d skipped)\n",
+				*observeStore, replayed, skipped)
+		}
+		svc.SetObserver(mon)
+		defer func() {
+			if err := mon.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "neusight: closing observation store: %v\n", err)
+			}
+		}()
+		fmt.Printf("observation ingestion on POST /v2/observe (drift threshold %.0f%%, window %d, min samples %d)\n",
+			*driftThreshold*100, observe.DefaultWindow, observe.DefaultMinSamples)
+	}
 	// The recorder attaches before warmup so a rotated trace
 	// (-warmup old.jsonl -trace-record new.jsonl) re-records the warmed
 	// working set into the new file — those keys become cache hits for all
@@ -614,6 +689,9 @@ func serveCmd(args []string) error {
 		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize, layout)
 	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
 	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
+	if *observeFlag {
+		fmt.Println("           POST /v2/observe (measured latencies -> drift detection)")
+	}
 	if node != nil {
 		fmt.Println("           GET|POST /v2/cluster/generations (gossip)  GET /v2/cluster/ring (assignments)")
 		fmt.Println("           GET /v2/cluster/health (failure detector)  POST /v2/cluster/join  GET /v2/cluster/trace")

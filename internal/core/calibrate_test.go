@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"neusight/internal/dataset"
+	"neusight/internal/gpu"
+	"neusight/internal/gpusim"
+	"neusight/internal/kernels"
+	"neusight/internal/tile"
+)
+
+// calibSetup trains a small predictor and returns it with its training
+// set — Calibrate needs the base dataset to retain.
+func calibSetup(t *testing.T, seed int64) (*Predictor, *dataset.Dataset) {
+	t.Helper()
+	tdb := tile.NewDB()
+	ds := dataset.Generate(dataset.GenConfig{
+		Seed: seed, BMM: 150, FC: 80, EW: 60, Softmax: 40, LN: 40,
+		GPUs: gpu.TrainSet(), MaxBMMDim: 1024,
+	}, gpusim.New(), tdb)
+	p := NewPredictor(testConfig(), tdb)
+	if rep := p.Train(ds); len(rep.FinalLoss) != 5 {
+		t.Fatalf("trained %d categories, want 5", len(rep.FinalLoss))
+	}
+	return p, ds
+}
+
+// Calibrate must move the affected category's predictions toward the
+// observed latencies, bump the generation (the cache/gossip invalidation
+// signal), and leave the other categories' MLPs untouched.
+func TestCalibrateShiftsPredictionsTowardObserved(t *testing.T) {
+	p, ds := calibSetup(t, 42)
+	g := gpu.MustLookup("H100")
+
+	probe := kernels.NewBMM(4, 512, 512, 512)
+	before, err := p.PredictKernel(probe, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smProbe := kernels.NewSoftmax(64, 1024)
+	smBefore, err := p.PredictKernel(smProbe, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pretend reality is 3x slower than the model thinks, across a spread
+	// of BMM shapes around the probe. No tiles attached: featurization
+	// must resolve them through the predictor's tile DB.
+	var calib []dataset.Sample
+	for _, m := range []int{256, 384, 512, 640, 768} {
+		k := kernels.NewBMM(4, m, 512, 512)
+		pred, err := p.PredictKernel(k, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calib = append(calib, dataset.Sample{Kernel: k, GPU: g, Latency: 3 * pred})
+	}
+
+	gen0 := p.Generation()
+	rep := p.Calibrate(ds, calib)
+	if rep.Trained[kernels.CatBMM] != len(calib) {
+		t.Fatalf("trained %v, want %d BMM samples", rep.Trained, len(calib))
+	}
+	if rep.Skipped != 0 {
+		t.Fatalf("skipped %d, want 0", rep.Skipped)
+	}
+	if p.Generation() <= gen0 {
+		t.Fatalf("generation %d after calibration, want > %d", p.Generation(), gen0)
+	}
+
+	after, err := p.PredictKernel(probe, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("calibrated prediction %v did not move up from %v toward %v", after, before, 3*before)
+	}
+	// Other categories must be untouched: calibration retrains per
+	// category, not the whole model.
+	smAfter, err := p.PredictKernel(smProbe, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smAfter != smBefore {
+		t.Fatalf("softmax prediction moved %v -> %v; calibration must only retrain BMM", smBefore, smAfter)
+	}
+}
+
+func TestCalibrateSkipsUntrainableSamples(t *testing.T) {
+	p, ds := calibSetup(t, 43)
+	g := gpu.MustLookup("H100")
+	gen0 := p.Generation()
+	rep := p.Calibrate(ds, []dataset.Sample{
+		{Kernel: kernels.NewEmbedding(2048, 1024, 50257), GPU: g, Latency: 5}, // memory-bound: no MLP
+		{Kernel: kernels.NewBMM(4, 512, 512, 512), GPU: g, Latency: 0},        // non-positive latency
+	})
+	if rep.Skipped != 2 || len(rep.Trained) != 0 {
+		t.Fatalf("skipped=%d trained=%v, want 2 skipped and nothing trained", rep.Skipped, rep.Trained)
+	}
+	if p.Generation() != gen0 {
+		t.Fatal("nothing trained, yet the generation moved")
+	}
+}
+
+// Calibrating without the base dataset (a process started from a saved
+// model, its training set long gone) trains on the observations alone
+// rather than failing.
+func TestCalibrateWithoutBaseDataset(t *testing.T) {
+	p, _ := calibSetup(t, 44)
+	g := gpu.MustLookup("H100")
+	var calib []dataset.Sample
+	for _, m := range []int{256, 512, 768} {
+		calib = append(calib, dataset.Sample{Kernel: kernels.NewBMM(4, m, 512, 512), GPU: g, Latency: 2})
+	}
+	rep := p.Calibrate(nil, calib)
+	if rep.Trained[kernels.CatBMM] != 3 {
+		t.Fatalf("trained %v, want 3 BMM samples", rep.Trained)
+	}
+}

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/observe"
+	"neusight/internal/predict"
+	"neusight/internal/serve"
+)
+
+// TestObserveFeedbackReportsMeasuredLatencies closes the loop end to end:
+// a feedback-mode run against a service with a drift monitor attached must
+// deliver one observation per successful kernel request, and the monitor's
+// ingested count must agree with the client-side report exactly.
+func TestObserveFeedbackReportsMeasuredLatencies(t *testing.T) {
+	eng := predict.NewRooflineEngine()
+	svc, tgt := newServedTarget(t, eng, serve.Config{CacheSize: 1024})
+	mon := observe.NewMonitor(observe.Config{Threshold: 100}, // never retrains
+		func(ctx context.Context, engine string, k kernels.Kernel, g gpu.Spec) (float64, error) {
+			res, err := svc.PredictKernelEngine(ctx, engine, k, g)
+			return res.Latency, err
+		})
+	svc.SetObserver(mon)
+	t.Cleanup(func() { mon.Close() })
+
+	res, err := Run(context.Background(), tgt, RunConfig{
+		Rate:            800,
+		Duration:        500 * time.Millisecond,
+		Arrival:         ArrivalSpec{Seed: 7},
+		Scenario:        kernelOnlyMix(t, []string{"H100", "V100"}),
+		ObserveFeedback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no successful requests to report observations for")
+	}
+	if res.Observed != res.Succeeded {
+		t.Errorf("reported %d observations for %d successes", res.Observed, res.Succeeded)
+	}
+	if res.ObserveRejected != 0 {
+		t.Errorf("%d observations rejected against a monitor-equipped target", res.ObserveRejected)
+	}
+	rep := mon.Report()
+	if rep.Ingested != res.Observed {
+		t.Errorf("monitor ingested %d, client reported %d", rep.Ingested, res.Observed)
+	}
+	if len(rep.Windows) == 0 {
+		t.Fatal("feedback opened no drift windows")
+	}
+	for _, w := range rep.Windows {
+		if w.Engine != predict.EngineRoofline {
+			t.Errorf("window engine %q, want the serving default %q", w.Engine, predict.EngineRoofline)
+		}
+	}
+	// The server-side stats delta must not include the feedback traffic:
+	// observations post after the delta is taken.
+	if res.Server != nil && res.Server.Requests != res.Succeeded {
+		t.Errorf("server requests delta %d != %d succeeded — feedback leaked into the step accounting",
+			res.Server.Requests, res.Succeeded)
+	}
+}
+
+// Feedback against a target without -observe must not fail the run; the
+// observations are counted rejected and the step result stands.
+func TestObserveFeedbackAgainstDisabledTarget(t *testing.T) {
+	_, tgt := newServedTarget(t, predict.NewRooflineEngine(), serve.Config{CacheSize: 64})
+	res, err := Run(context.Background(), tgt, RunConfig{
+		Rate:            400,
+		Duration:        200 * time.Millisecond,
+		Arrival:         ArrivalSpec{Seed: 9},
+		Scenario:        kernelOnlyMix(t, []string{"H100"}),
+		ObserveFeedback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no successful requests")
+	}
+	if res.Observed != 0 || res.ObserveRejected != res.Succeeded {
+		t.Errorf("observed=%d rejected=%d against a disabled target, want 0/%d",
+			res.Observed, res.ObserveRejected, res.Succeeded)
+	}
+}

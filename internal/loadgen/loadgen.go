@@ -108,6 +108,13 @@ type RunConfig struct {
 	// SkipServerStats disables the /v2/stats delta (for targets that do
 	// not serve it).
 	SkipServerStats bool
+	// ObserveFeedback reports each successful kernel request's measured
+	// round-trip latency back to the target via POST /v2/observe after the
+	// step completes — the client side of the continuous-calibration loop.
+	// Posting happens after the /v2/stats delta is taken so the feedback
+	// traffic does not skew the step's server-side account. The target
+	// must run with -observe or every observation is rejected.
+	ObserveFeedback bool
 }
 
 // ServerDelta is the change in the target's /v2/stats counters across one
@@ -173,6 +180,12 @@ type StepResult struct {
 
 	DurationSec float64 `json:"duration_sec"`
 
+	// Observed counts measured latencies the feedback mode reported back
+	// through /v2/observe after the step; ObserveRejected counts the ones
+	// the server refused. Both zero unless ObserveFeedback is set.
+	Observed        uint64 `json:"observed,omitempty"`
+	ObserveRejected uint64 `json:"observe_rejected,omitempty"`
+
 	// Server is the /v2/stats delta across the step (nil when skipped or
 	// unavailable).
 	Server *ServerDelta `json:"server,omitempty"`
@@ -218,6 +231,11 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 		inFlight                                    atomic.Int64
 		hist                                        = NewHistogram()
 		wg                                          sync.WaitGroup
+
+		// Feedback observations accumulate under their own lock; the hot
+		// path only appends, the posting happens after the step completes.
+		obsMu sync.Mutex
+		obs   []serve.ObserveRequest
 	)
 	issue := func(req Request) {
 		defer wg.Done()
@@ -234,7 +252,15 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 			rejected.Add(1)
 		case status >= 200 && status < 300:
 			succeeded.Add(1)
-			hist.Observe(time.Since(start))
+			elapsed := time.Since(start)
+			hist.Observe(elapsed)
+			if cfg.ObserveFeedback && req.Observe != nil {
+				ob := *req.Observe
+				ob.ObservedMs = float64(elapsed.Nanoseconds()) / 1e6
+				obsMu.Lock()
+				obs = append(obs, ob)
+				obsMu.Unlock()
+			}
 		default:
 			errored.Add(1)
 		}
@@ -299,7 +325,52 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 			res.Server = deltaStats(before, after)
 		}
 	}
+	if cfg.ObserveFeedback {
+		res.Observed, res.ObserveRejected = tgt.Observe(ctx, obs)
+	}
 	return res, nil
+}
+
+// Observe posts measured latencies to the target's /v2/observe endpoint in
+// chunks capped at the server's batch limit, returning the server-side
+// accepted and rejected counts. A chunk that fails to round-trip (transport
+// error, non-200, undecodable reply) counts fully rejected.
+func (t *Target) Observe(ctx context.Context, obs []serve.ObserveRequest) (accepted, rejected uint64) {
+	for len(obs) > 0 {
+		n := len(obs)
+		if n > serve.MaxBatchKernels {
+			n = serve.MaxBatchKernels
+		}
+		chunk := obs[:n]
+		obs = obs[n:]
+		body, err := json.Marshal(serve.ObserveBatchRequest{Observations: chunk})
+		if err != nil {
+			rejected += uint64(n)
+			continue
+		}
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+"/v2/observe", bytes.NewReader(body))
+		if err != nil {
+			rejected += uint64(n)
+			continue
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := t.Client.Do(hr)
+		if err != nil {
+			rejected += uint64(n)
+			continue
+		}
+		var or serve.ObserveResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&or)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			rejected += uint64(n)
+			continue
+		}
+		accepted += uint64(or.Accepted)
+		rejected += uint64(or.Rejected)
+	}
+	return accepted, rejected
 }
 
 // do issues one pre-encoded request and returns the HTTP status. The body

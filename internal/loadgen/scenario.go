@@ -48,6 +48,12 @@ type Request struct {
 	// kernel request, the batch length for a batch request, 0 for a graph
 	// request (the server prices the graph's kernels internally).
 	Kernels int
+	// Observe is the observation template for feedback mode: the same
+	// kernel/GPU/engine the request predicts, with ObservedMs left for the
+	// driver to fill with the measured latency. Only single-kernel
+	// requests carry one — a batch or graph round trip has no one kernel
+	// its latency belongs to.
+	Observe *serve.ObserveRequest
 }
 
 // Scenario is a finite pool of pre-encoded requests the driver cycles
@@ -183,7 +189,8 @@ func NewMix(cfg MixConfig) (*Scenario, error) {
 			k := shapes[labels[rng.Intn(len(labels))]]
 			kb := kernelBody(k)
 			kb.GPU = gpuName
-			req = Request{Kind: KindKernel, Path: "/v2/predict/kernel", Kernels: 1}
+			req = Request{Kind: KindKernel, Path: "/v2/predict/kernel", Kernels: 1,
+				Observe: &serve.ObserveRequest{Kernel: kb, Engine: cfg.Engine}}
 			body = serve.KernelRequestV2{KernelRequest: kb, Engine: cfg.Engine}
 		case pick < kw+bw:
 			ks := make([]serve.KernelRequest, batchSize)
@@ -258,7 +265,8 @@ func NewTraceReplay(path, engine string) (*Scenario, int, error) {
 			skipped++
 			continue
 		}
-		sc.reqs = append(sc.reqs, Request{Kind: KindKernel, Path: "/v2/predict/kernel", Body: enc, Kernels: 1})
+		sc.reqs = append(sc.reqs, Request{Kind: KindKernel, Path: "/v2/predict/kernel", Body: enc, Kernels: 1,
+			Observe: &serve.ObserveRequest{Kernel: kb, Engine: eng}})
 	}
 	if err := scan.Err(); err != nil {
 		return nil, skipped, err

@@ -1,0 +1,307 @@
+// Package observe closes the loop between prediction and reality:
+// measured kernel latencies reported by clients (POST /v2/observe) are
+// compared against the serving engine's current predictions, per-(engine,
+// GPU) drift is tracked as a rolling MAPE, and when drift crosses a
+// threshold a single-flight background worker folds the observations into
+// the training set and retrains the affected categories — hot-swapping
+// the model through the predictor's generation bump so the existing
+// cache-key versioning and cluster gossip invalidate stale forecasts with
+// no new coordination.
+package observe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"neusight/internal/kernels"
+)
+
+// Record is one persisted observation: a (engine, kernel, GPU) key plus
+// the latency a client measured for it, serialized with the operator's
+// canonical name so a store written by one build replays in another. The
+// JSONL framing mirrors the serve package's workload traces.
+type Record struct {
+	Engine     string  `json:"engine"`
+	GPU        string  `json:"gpu"`
+	Op         string  `json:"op"`
+	B          int     `json:"b,omitempty"`
+	M          int     `json:"m,omitempty"`
+	K          int     `json:"k,omitempty"`
+	N          int     `json:"n,omitempty"`
+	DType      string  `json:"dtype,omitempty"`
+	ObservedMs float64 `json:"observed_ms"`
+}
+
+// NewRecord serializes an observed key.
+func NewRecord(engine string, k kernels.Kernel, gpuName string, observedMs float64) Record {
+	r := Record{
+		Engine: engine, GPU: gpuName,
+		Op: k.Op.String(), B: k.B, M: k.M, K: k.K, N: k.N,
+		ObservedMs: observedMs,
+	}
+	if k.DType != kernels.FP32 {
+		r.DType = k.DType.String()
+	}
+	return r
+}
+
+// Kernel reconstructs the kernel a record describes.
+func (r Record) Kernel() (kernels.Kernel, error) {
+	op, ok := kernels.OpByName(r.Op)
+	if !ok {
+		return kernels.Kernel{}, fmt.Errorf("unknown op %q", r.Op)
+	}
+	k := kernels.Kernel{Op: op, B: r.B, M: r.M, K: r.K, N: r.N}
+	switch r.DType {
+	case "", "fp32":
+	case "fp16":
+		k.DType = kernels.FP16
+	default:
+		return kernels.Kernel{}, fmt.Errorf("unknown dtype %q", r.DType)
+	}
+	return k, nil
+}
+
+// DefaultStoreCap bounds a store that was opened without an explicit cap.
+const DefaultStoreCap = 8192
+
+// Store is a bounded, crash-safe observation log: an append-only JSONL
+// file holding the newest cap observations. Every append is flushed
+// through to the file (an observation accepted is an observation that
+// survives a kill), the oldest records are evicted past the cap, and the
+// file is compacted — atomically, via tmp+rename — once the on-disk log
+// grows to twice the cap, so disk usage is bounded even though appends
+// never rewrite the file. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	path      string
+	cap       int
+	f         *os.File
+	bw        *bufio.Writer
+	recs      []Record
+	fileLines int    // lines currently in the file, evicted records included
+	skipped   int    // corrupt/unparseable lines dropped at open
+	evicted   uint64 // records dropped past the cap
+	compacts  uint64 // tmp+rename rewrites
+	err       error  // first write error; appends stop permanently
+}
+
+// OpenStore opens (creating if absent) the observation store at path,
+// keeping at most capacity records (DefaultStoreCap when <= 0). A
+// leftover temporary file from a crash mid-compaction is discarded — the
+// rename never happened, so the main file is the authoritative copy.
+// Damaged lines in the file are skipped and counted, never fatal; if the
+// file holds more than capacity valid records only the newest survive,
+// and the pruned file is written back immediately so evicted records
+// cannot resurrect after a kill.
+func OpenStore(path string, capacity int) (*Store, error) {
+	if capacity <= 0 {
+		capacity = DefaultStoreCap
+	}
+	os.Remove(path + compactSuffix)
+	s := &Store{path: path, cap: capacity}
+	if f, err := os.Open(path); err == nil {
+		s.recs, s.skipped = readRecords(f)
+		f.Close()
+		s.fileLines = len(s.recs) + s.skipped
+	}
+	if over := len(s.recs) - capacity; over > 0 {
+		s.recs = append([]Record(nil), s.recs[over:]...)
+		s.evicted += uint64(over)
+	}
+	if s.evicted > 0 || s.skipped > 0 {
+		// Rewrite now, not lazily: a kill before the next compaction must
+		// not bring evicted or corrupt lines back.
+		if err := writeRecordFile(path, s.recs); err != nil {
+			return nil, err
+		}
+		s.fileLines = len(s.recs)
+		s.compacts++
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("observe: open store: %w", err)
+	}
+	s.f, s.bw = f, bufio.NewWriter(f)
+	return s, nil
+}
+
+// Append persists one observation. The line is flushed through to the
+// file before Append returns; past the cap the oldest in-memory record is
+// evicted, and once the file holds twice the cap it is compacted down to
+// the live records.
+func (s *Store) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	line, err := json.Marshal(r)
+	if err == nil {
+		_, err = s.bw.Write(append(line, '\n'))
+	}
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	if err != nil {
+		s.err = err
+		return err
+	}
+	s.fileLines++
+	s.recs = append(s.recs, r)
+	if len(s.recs) > s.cap {
+		n := copy(s.recs, s.recs[1:])
+		s.recs = s.recs[:n]
+		s.evicted++
+	}
+	if s.fileLines >= 2*s.cap && s.fileLines > len(s.recs) {
+		if err := s.compactLocked(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the file down to the live records: close the
+// append handle, atomically replace the file (tmp+rename — a crash leaves
+// the old log or the new one, never a torn file), reopen for append.
+// Callers hold s.mu.
+func (s *Store) compactLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	if err := writeRecordFile(s.path, s.recs); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	s.f, s.bw = f, bufio.NewWriter(f)
+	s.fileLines = len(s.recs)
+	s.compacts++
+	return nil
+}
+
+// Records returns a copy of the live records, oldest first.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.recs...)
+}
+
+// Stats reports the store's state for the drift report.
+type StoreStats struct {
+	Path        string `json:"path"`
+	Records     int    `json:"records"`
+	Cap         int    `json:"cap"`
+	Skipped     int    `json:"skipped,omitempty"` // corrupt lines dropped at open
+	Evicted     uint64 `json:"evicted,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+}
+
+// Stats returns the store's current state.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Path: s.path, Records: len(s.recs), Cap: s.cap,
+		Skipped: s.skipped, Evicted: s.evicted, Compactions: s.compacts,
+	}
+}
+
+// Close flushes and closes the store file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+const compactSuffix = ".compact.tmp"
+
+// writeRecordFile atomically replaces the store at path with recs (write
+// to a temporary file, then rename).
+func writeRecordFile(path string, recs []Record) error {
+	tmp := path + compactSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err == nil {
+			_, err = bw.Write(append(line, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("observe: compact store: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("observe: compact store: %w", err)
+	}
+	return nil
+}
+
+// readRecords parses JSONL observation data with the same damage
+// tolerance as trace replay: truncated, corrupt, unparseable, or absurdly
+// long lines are skipped and counted — damage anywhere in the file must
+// not void the valid observations before or after it.
+func readRecords(r io.Reader) (recs []Record, skipped int) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, isPrefix, readErr := br.ReadLine()
+		if readErr != nil {
+			if readErr != io.EOF {
+				skipped++
+			}
+			break
+		}
+		if isPrefix {
+			// A line longer than the read buffer is not an observation
+			// (records are a few hundred bytes): drain and count one skip.
+			skipped++
+			for isPrefix && readErr == nil {
+				_, isPrefix, readErr = br.ReadLine()
+			}
+			if readErr != nil {
+				break
+			}
+			continue
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil ||
+			rec.Op == "" || rec.GPU == "" || rec.Engine == "" || !(rec.ObservedMs > 0) {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, skipped
+}

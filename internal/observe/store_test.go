@@ -1,0 +1,251 @@
+package observe
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neusight/internal/kernels"
+)
+
+func testRecord(i int) Record {
+	return NewRecord("neusight", kernels.NewBMM(1, 64+i, 64, 64), "H100", float64(i+1))
+}
+
+func fileLineCount(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+func TestStoreAppendCloseReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	st, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs := st2.Records()
+	if len(recs) != 5 {
+		t.Fatalf("reopened with %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.ObservedMs != float64(i+1) {
+			t.Fatalf("record %d observed %v, want %v (order lost)", i, r.ObservedMs, i+1)
+		}
+		if _, err := r.Kernel(); err != nil {
+			t.Fatalf("record %d does not round-trip: %v", i, err)
+		}
+	}
+}
+
+// An accepted observation must survive a kill: every Append flushes
+// through to the file, so reopening the path without ever closing the
+// first handle — the closest a test gets to SIGKILL — sees every record.
+func TestStoreReopenAfterKill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	st, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the process "died" here.
+	st2, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := len(st2.Records()); got != 7 {
+		t.Fatalf("%d records survived the kill, want 7", got)
+	}
+}
+
+func TestStoreSkipsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	var b strings.Builder
+	b.WriteString(`{"engine":"neusight","gpu":"H100","op":"bmm","b":1,"m":64,"k":64,"n":64,"observed_ms":1}` + "\n")
+	b.WriteString("not json at all\n")                                 // garbage
+	b.WriteString(`{"engine":"neusight","gpu":"H100","op":"bmm","obs`) // truncated mid-line
+	b.WriteString("\n")
+	b.WriteString(`{"engine":"","gpu":"H100","op":"bmm","observed_ms":1}` + "\n")  // no engine
+	b.WriteString(`{"engine":"e","gpu":"H100","op":"bmm","observed_ms":0}` + "\n") // non-positive
+	b.WriteString("\n")                                                            // blank lines are framing, not damage
+	b.WriteString(`{"engine":"neusight","gpu":"H100","op":"bmm","b":1,"m":65,"k":64,"n":64,"observed_ms":2}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.Records != 2 {
+		t.Fatalf("loaded %d records, want 2", stats.Records)
+	}
+	if stats.Skipped != 4 {
+		t.Fatalf("skipped %d corrupt lines, want 4", stats.Skipped)
+	}
+	// The damaged file was rewritten: only the valid lines remain on disk,
+	// so a later kill cannot resurrect the corruption.
+	if got := fileLineCount(t, path); got != 2 {
+		t.Fatalf("file holds %d lines after corrupt-load rewrite, want 2", got)
+	}
+}
+
+func TestStoreCapEvictsOldest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	st, err := OpenStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := st.Records()
+	if len(recs) != 4 {
+		t.Fatalf("store holds %d records, want cap 4", len(recs))
+	}
+	for i, r := range recs {
+		if want := float64(7 + i); r.ObservedMs != want {
+			t.Fatalf("record %d observed %v, want %v (not the newest four)", i, r.ObservedMs, want)
+		}
+	}
+	if st.Stats().Evicted != 6 {
+		t.Fatalf("evicted %d, want 6", st.Stats().Evicted)
+	}
+}
+
+func TestStoreCompactionBoundsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	st, err := OpenStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Compactions == 0 {
+		t.Fatal("40 appends past a cap of 4 never compacted")
+	}
+	if got := fileLineCount(t, path); got >= 2*4+1 {
+		t.Fatalf("file holds %d lines, want < %d (compaction bounds disk)", got, 2*4+1)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs := st2.Records()
+	if len(recs) != 4 || recs[3].ObservedMs != 40 {
+		t.Fatalf("reopen after compaction: %d records, newest %v; want 4 records ending at 40",
+			len(recs), recs[len(recs)-1].ObservedMs)
+	}
+}
+
+// A crash between writing the temporary compaction file and the rename
+// leaves path+".compact.tmp" behind; the main file is authoritative and
+// the leftover must be discarded, not replayed.
+func TestStoreDiscardsCrashedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.jsonl")
+	st, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := path + ".compact.tmp"
+	if err := os.WriteFile(tmp, []byte("torn half-written compac"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := len(st2.Records()); got != 3 {
+		t.Fatalf("%d records after crashed compaction, want 3 from the main file", got)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover %s not discarded (stat err %v)", tmp, err)
+	}
+}
+
+func TestStoreOverfullFilePrunedAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	var b strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, `{"engine":"neusight","gpu":"H100","op":"bmm","b":1,"m":64,"k":64,"n":64,"observed_ms":%d}`+"\n", i+1)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := st.Records()
+	if len(recs) != 4 || recs[0].ObservedMs != 9 {
+		t.Fatalf("pruned to %d records starting at %v, want newest 4 starting at 9",
+			len(recs), recs[0].ObservedMs)
+	}
+	if got := fileLineCount(t, path); got != 4 {
+		t.Fatalf("file holds %d lines after prune, want 4", got)
+	}
+}
+
+func TestRecordKernelRoundTrip(t *testing.T) {
+	k := kernels.NewBMM(2, 128, 64, 32).WithDType(kernels.FP16)
+	r := NewRecord("neusight", k, "V100", 1.5)
+	got, err := r.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label() != k.Label() {
+		t.Fatalf("round-trip %s != %s", got.Label(), k.Label())
+	}
+	if _, err := (Record{Op: "no-such-op"}).Kernel(); err == nil {
+		t.Fatal("unknown op must not resolve")
+	}
+	if _, err := (Record{Op: "bmm", DType: "fp8"}).Kernel(); err == nil {
+		t.Fatal("unknown dtype must not resolve")
+	}
+}

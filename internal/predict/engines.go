@@ -109,6 +109,17 @@ func (e *CoreEngine) Train(ds *dataset.Dataset) error {
 // Save implements Persistable.
 func (e *CoreEngine) Save(path string) error { return e.P.Save(path) }
 
+// Calibrate implements Calibrator: observed latencies are folded into the
+// training set and the affected categories retrained through the core
+// predictor's shadow-train + hot-swap path, bumping the generation.
+func (e *CoreEngine) Calibrate(base *dataset.Dataset, observed []dataset.Sample) error {
+	rep := e.P.Calibrate(base, observed)
+	if len(rep.Trained) == 0 {
+		return fmt.Errorf("predict: no calibration sample falls in a trained category (%d skipped)", rep.Skipped)
+	}
+	return nil
+}
+
 // Generation implements Generational.
 func (e *CoreEngine) Generation() uint64 { return e.P.Generation() }
 

@@ -12,6 +12,7 @@ import (
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
 	"neusight/internal/models"
+	"neusight/internal/observe"
 	"neusight/internal/predict"
 )
 
@@ -286,6 +287,7 @@ type StatsV2 struct {
 	Shards          []ShardStats     `json:"shards,omitempty"`
 	Warmup          *WarmupStats     `json:"warmup,omitempty"`
 	TraceCompaction *TraceCompaction `json:"trace_compaction,omitempty"`
+	Observe         *observe.Report  `json:"observe,omitempty"`
 }
 
 // predictErrorCode classifies a Predict*Engine error for HTTP: naming an
@@ -539,8 +541,9 @@ func handleEngines(s *Service) http.HandlerFunc {
 //	POST /v2/predict/kernel  — one kernel forecast (KernelRequestV2)
 //	POST /v2/predict/batch   — many kernels, one batched forecast (BatchRequestV2)
 //	POST /v2/predict/graph   — end-to-end workload forecast (GraphRequestV2)
+//	POST /v2/observe         — measured kernel latencies for drift detection (ObserveRequest)
 //	GET  /v2/engines         — the registered engine set and default
-//	GET  /v2/stats           — aggregate, per-engine, per-shard, and warmup counters
+//	GET  /v2/stats           — aggregate, per-engine, per-shard, warmup, and drift counters
 //	POST /v1/predict/kernel|batch|graph — v1-shaped aliases, default engine
 //	GET  /v1/healthz         — liveness probe (also /v2/healthz)
 //	GET  /v1/stats           — aggregate counters only
@@ -553,6 +556,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v2/predict/kernel", handleKernel(s, true))
 	mux.HandleFunc("/v2/predict/batch", handleBatch(s, true))
 	mux.HandleFunc("/v2/predict/graph", handleGraph(s, true))
+	mux.HandleFunc("/v2/observe", handleObserve(s))
 	mux.HandleFunc("/v2/engines", handleEngines(s))
 	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsV2{
@@ -561,6 +565,7 @@ func NewHandler(s *Service) http.Handler {
 			Shards:          s.Shards(),
 			Warmup:          s.Warmup(),
 			TraceCompaction: s.TraceCompaction(),
+			Observe:         s.ObserveReport(),
 		})
 	})
 	healthz := func(w http.ResponseWriter, r *http.Request) {

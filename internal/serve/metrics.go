@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"neusight/internal/observe"
 )
 
 // MetricsContentType is the Prometheus text exposition content type served
@@ -176,8 +178,8 @@ func WriteWarmupMetrics(w io.Writer, ws *WarmupStats) error {
 }
 
 // metricsHandler serves the service counters as a Prometheus scrape target:
-// the aggregate families first, then the engine-, shard-, and
-// warmup-labeled families.
+// the aggregate families first, then the engine-, shard-, warmup-, and
+// drift-labeled families.
 func metricsHandler(s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
@@ -186,5 +188,6 @@ func metricsHandler(s *Service) http.HandlerFunc {
 		WriteEngineMetrics(w, s.EngineStats())
 		WriteShardMetrics(w, s.Shards())
 		WriteWarmupMetrics(w, s.Warmup())
+		observe.WriteMetrics(w, s.ObserveReport())
 	}
 }

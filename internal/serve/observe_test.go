@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/observe"
+)
+
+// observeService wires a multi-engine service to a drift monitor the way
+// cmd/neusight does: the monitor's reference prediction rides the
+// service's own serving path.
+func observeService(t *testing.T, cfg observe.Config) (*Service, *observe.Monitor) {
+	t.Helper()
+	svc := multiService(t)
+	mon := observe.NewMonitor(cfg, func(ctx context.Context, engine string, k kernels.Kernel, g gpu.Spec) (float64, error) {
+		res, err := svc.PredictKernelEngine(ctx, engine, k, g)
+		return res.Latency, err
+	})
+	svc.SetObserver(mon)
+	t.Cleanup(func() { mon.Close() })
+	return svc, mon
+}
+
+func postObserve(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v2/observe", bytes.NewReader(enc))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestObserveDisabledReturns404(t *testing.T) {
+	h := NewHandler(multiService(t)) // no SetObserver
+	w := postObserve(t, h, ObserveRequest{
+		Kernel: KernelRequest{Op: "bmm", B: 1, M: 64, K: 64, N: 64, GPU: "V100"}, ObservedMs: 1,
+	})
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 when -observe is off", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "-observe") {
+		t.Fatalf("error %q should point at the -observe flag", w.Body.String())
+	}
+}
+
+func TestObserveSingle(t *testing.T) {
+	svc, _ := observeService(t, observe.Config{Window: 8, MinSamples: 4, Threshold: 0.5})
+	h := NewHandler(svc)
+	// Engine "alpha" predicts 1ms; observe 2ms -> MAPE 0.5 on the window.
+	w := postObserve(t, h, ObserveRequest{
+		Kernel: KernelRequest{Op: "bmm", B: 1, M: 64, K: 64, N: 64, GPU: "V100"}, ObservedMs: 2,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp ObserveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Rejected != 0 || resp.Items != nil {
+		t.Fatalf("response %+v, want accepted=1 and no items for the single form", resp)
+	}
+	// The reference prediction rode the serving path: the observed key is
+	// now cached, so observing doubles as warming.
+	if st := svc.Stats(); st.Requests != 1 || st.CacheLen != 1 {
+		t.Fatalf("service stats %+v, want the observation to have warmed one key", st)
+	}
+
+	// /v2/stats carries the drift report.
+	req := httptest.NewRequest(http.MethodGet, "/v2/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var st StatsV2
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observe == nil {
+		t.Fatal("/v2/stats has no observe section with a monitor attached")
+	}
+	if st.Observe.Ingested != 1 || len(st.Observe.Windows) != 1 {
+		t.Fatalf("observe section %+v, want 1 ingested in 1 window", st.Observe)
+	}
+	ow := st.Observe.Windows[0]
+	if ow.Engine != "alpha" || ow.GPU != "V100" || ow.MAPE != 0.5 {
+		t.Fatalf("window %+v, want alpha/V100 at MAPE 0.5", ow)
+	}
+
+	// /metrics exports the observe families.
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, mreq)
+	for _, want := range []string{
+		"neusight_observe_ingested_total 1",
+		`neusight_observe_mape{engine="alpha",gpu="V100"} 0.5`,
+	} {
+		if !strings.Contains(mrec.Body.String(), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestObserveBatch(t *testing.T) {
+	svc, _ := observeService(t, observe.Config{})
+	h := NewHandler(svc)
+	good := KernelRequest{Op: "bmm", B: 1, M: 64, K: 64, N: 64, GPU: "V100"}
+	w := postObserve(t, h, ObserveBatchRequest{Observations: []ObserveRequest{
+		{Kernel: good, ObservedMs: 1.5},
+		{Kernel: KernelRequest{Op: "no-such-op", GPU: "V100"}, ObservedMs: 1}, // bad op
+		{Kernel: good, Engine: "nope", ObservedMs: 1},                         // unknown engine
+		{Kernel: good, ObservedMs: -1},                                        // bad latency
+		{Kernel: good, GPU: "H100", ObservedMs: 2},                            // GPU override
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	var resp ObserveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Rejected != 3 || len(resp.Items) != 5 {
+		t.Fatalf("batch response %+v, want accepted=2 rejected=3 with 5 positional items", resp)
+	}
+	for i, wantErr := range []bool{false, true, true, true, false} {
+		if got := resp.Items[i].Error != ""; got != wantErr {
+			t.Fatalf("item %d error=%q, want error=%v", i, resp.Items[i].Error, wantErr)
+		}
+	}
+	// The GPU override opened a second window.
+	rep := svc.ObserveReport()
+	if len(rep.Windows) != 2 {
+		t.Fatalf("%d windows, want 2 (V100 and H100)", len(rep.Windows))
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	svc, _ := observeService(t, observe.Config{})
+	h := NewHandler(svc)
+
+	// Method.
+	req := httptest.NewRequest(http.MethodGet, "/v2/observe", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", rec.Code)
+	}
+
+	// Empty body: neither form present.
+	if w := postObserve(t, h, map[string]any{}); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty observation status %d, want 400", w.Code)
+	}
+
+	// Single-form failures report with a status code.
+	good := KernelRequest{Op: "bmm", B: 1, M: 64, K: 64, N: 64, GPU: "V100"}
+	for _, tc := range []struct {
+		name string
+		body ObserveRequest
+		want int
+	}{
+		{"non-positive latency", ObserveRequest{Kernel: good, ObservedMs: 0}, http.StatusBadRequest},
+		{"unknown gpu", ObserveRequest{Kernel: KernelRequest{Op: "bmm", B: 1, M: 64, K: 64, N: 64, GPU: "TPU"}, ObservedMs: 1}, http.StatusBadRequest},
+		{"unknown engine", ObserveRequest{Kernel: good, Engine: "gamma", ObservedMs: 1}, http.StatusBadRequest},
+	} {
+		if w := postObserve(t, h, tc.body); w.Code != tc.want {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.want, w.Body.String())
+		}
+	}
+
+	// Oversized batch.
+	obs := make([]ObserveRequest, MaxBatchKernels+1)
+	for i := range obs {
+		obs[i] = ObserveRequest{Kernel: good, ObservedMs: 1}
+	}
+	if w := postObserve(t, h, ObserveBatchRequest{Observations: obs}); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", w.Code)
+	}
+	if rep := svc.ObserveReport(); rep.Ingested != 0 {
+		t.Fatalf("rejected requests ingested %d observations", rep.Ingested)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"neusight/internal/gpu"
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
+	"neusight/internal/observe"
 	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
@@ -137,6 +138,9 @@ type Service struct {
 	recorder atomic.Pointer[TraceRecorder]
 	warmup   atomic.Pointer[WarmupStats]
 	warming  atomic.Bool
+	// observer, when set, accepts measured kernel latencies on /v2/observe
+	// and tracks prediction drift (observe.go).
+	observer atomic.Pointer[observe.Monitor]
 
 	emu     sync.RWMutex
 	engines map[string]*engineState

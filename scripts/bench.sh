@@ -29,10 +29,10 @@ fi
 out="${BENCH_OUT:-BENCH_serve.json}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-2000x}"
-pattern='ServeThroughput|ServeBatchThroughput|ShardedThroughput'
+pattern='ServeThroughput|ServeBatchThroughput|ShardedThroughput|ObserveIngest'
 
-echo "==> go test -bench '$pattern' -benchmem -benchtime=$benchtime -count=$count ."
-raw=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" -count="$count" .)
+echo "==> go test -bench '$pattern' -benchmem -benchtime=$benchtime -count=$count . ./internal/observe"
+raw=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" -count="$count" . ./internal/observe)
 echo "$raw"
 
 # Parse `go test -bench` output into JSON. Benchmark lines have the shape
@@ -74,7 +74,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 names = {r["name"].split("/")[0] for r in doc["runs"]}
-want = {"ServeThroughput", "ServeBatchThroughput", "ShardedThroughput"}
+want = {"ServeThroughput", "ServeBatchThroughput", "ShardedThroughput", "ObserveIngest"}
 missing = want - names
 if missing:
     raise SystemExit(f"bench.sh: benchmarks missing from output: {sorted(missing)}")

@@ -32,11 +32,11 @@ go build ./...
 if [[ "$fast" == 1 ]]; then
   echo "==> go test ./... (fast mode, no race detector)"
   go test ./...
-  # The engine registry, serving layer, cluster peer layer, and load
-  # harness are the concurrency-critical surface: they stay race-checked
-  # even in fast mode.
-  echo "==> go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen"
-  go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen
+  # The engine registry, serving layer, cluster peer layer, load harness,
+  # and observation/retrain loop are the concurrency-critical surface:
+  # they stay race-checked even in fast mode.
+  echo "==> go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen ./internal/observe"
+  go test -race ./internal/predict ./internal/serve ./internal/cluster ./internal/loadgen ./internal/observe
 else
   echo "==> go test -race ./..."
   go test -race ./...
@@ -81,6 +81,7 @@ fi
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x ./internal/mat ./internal/core >/dev/null
 go test -run '^$' -bench 'EngineDispatch' -benchtime=1x ./internal/predict >/dev/null
+go test -run '^$' -bench 'ObserveIngest' -benchtime=1x ./internal/observe >/dev/null
 go test -run '^$' -bench 'Serve|ShardedThroughput' -benchtime=1x . >/dev/null
 
 # Loadgen smoke sweep: two short steps against a self-served roofline
