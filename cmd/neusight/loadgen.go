@@ -11,9 +11,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"neusight/internal/cluster"
 	"neusight/internal/gpusim"
 	"neusight/internal/loadgen"
 	"neusight/internal/predict"
@@ -31,6 +33,14 @@ import (
 // (-slo-p99 / -slo-errors) and reports the knee — the highest rate the
 // service sustained within SLO. Either way the result is one
 // machine-readable JSON report (stdout, or -out).
+//
+// Cluster mode (-cluster, or -self-cluster N which boots N in-process
+// members) discovers the membership from any seed's GET /v2/cluster/ring,
+// fans the offered stream across every live member (-cluster-split), and
+// aggregates per-member results into one cluster-wide report whose sweep
+// finds the *cluster* knee. -fault kills a chosen member at a chosen
+// sweep step so the report captures the error spike, the failover window,
+// and the recovery.
 func loadgenCmd(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	target := fs.String("target", "", "base URL of the service under test (e.g. http://127.0.0.1:8080)")
@@ -39,6 +49,14 @@ func loadgenCmd(args []string) error {
 	shardQueue := fs.Int("shard-queue", 0, "-self only: per-shard in-flight bound before 503 backpressure (0 = default)")
 	workers := fs.Int("workers", 0, "-self only: max concurrent backend predictions (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "-self only: prediction LRU cache size per partition (negative disables)")
+
+	clusterMode := fs.Bool("cluster", false, "treat -target as cluster seed URL(s), comma-separated: discover members via GET /v2/cluster/ring and fan the offered stream across all of them")
+	selfCluster := fs.Int("self-cluster", 0, "boot this many in-process cluster members as the target (needs -self for the engine mode; implies -cluster)")
+	steer := fs.String("steer", cluster.SteerRedirect, "-self-cluster only: members' steering mode (redirect, proxy, off)")
+	refreshRing := fs.Duration("refresh-ring", 0, "cluster: minimum ring-view age before it is re-fetched at a step boundary (0 = refresh before every step, tracking evictions and joins)")
+	clusterToken := fs.String("cluster-token", "", "cluster: bearer token for the members' /v2/cluster control plane")
+	clusterSplit := fs.String("cluster-split", loadgen.SplitOwnership, "cluster: how the stream splits across members — ownership (route each request to its shard owner) or uniform (equal shares; steering carries misplaced requests)")
+	fault := fs.String("fault", "", `cluster sweep fault injection: "step=2" (self-cluster: auto-picks a victim), "step=2,member=host:port", or "step=2,member=host:port,pid=1234" (external cluster: SIGKILLs the pid)`)
 
 	arrival := fs.String("arrival", loadgen.ArrivalPoisson, "arrival process: poisson or bursty")
 	burstOn := fs.Duration("burst-on", 20*time.Millisecond, "bursty: on-window length")
@@ -79,6 +97,18 @@ func loadgenCmd(args []string) error {
 	if *sweep != "" && *rate > 0 {
 		return fmt.Errorf("loadgen: -sweep and -rate are mutually exclusive")
 	}
+	if *selfCluster > 0 {
+		if *self == "" {
+			return fmt.Errorf("loadgen: -self-cluster needs -self roofline|quick for the member engine")
+		}
+		if *selfCluster < 2 {
+			return fmt.Errorf("loadgen: -self-cluster wants at least 2 members")
+		}
+	}
+	inCluster := *clusterMode || *selfCluster > 0
+	if *fault != "" && (!inCluster || *sweep == "") {
+		return fmt.Errorf("loadgen: -fault needs a cluster sweep (-cluster or -self-cluster, with -sweep)")
+	}
 
 	spec := loadgen.ArrivalSpec{Process: *arrival, Seed: *seed}
 	if *arrival == loadgen.ArrivalBursty {
@@ -90,21 +120,38 @@ func loadgenCmd(args []string) error {
 		return err
 	}
 
-	baseURL := *target
-	if *self != "" {
-		stop, url, err := startSelfTarget(*self, serve.Config{
-			CacheSize: *cacheSize, Workers: *workers,
-			Shards: *shards, ShardQueue: *shardQueue,
-		})
+	svcCfg := serve.Config{
+		CacheSize: *cacheSize, Workers: *workers,
+		Shards: *shards, ShardQueue: *shardQueue,
+	}
+	var (
+		baseURL    string
+		seeds      []string
+		killMember func(string) error
+	)
+	switch {
+	case *selfCluster > 0:
+		stop, ss, kill, err := startSelfCluster(*self, *selfCluster, *steer, svcCfg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		seeds, killMember = ss, kill
+		fmt.Fprintf(os.Stderr, "loadgen: self-serving a %d-member %s cluster (%s steering) on %s\n",
+			*selfCluster, *self, *steer, strings.Join(seeds, ", "))
+	case inCluster:
+		seeds = splitPeers(*target)
+	case *self != "":
+		stop, url, err := startSelfTarget(*self, svcCfg)
 		if err != nil {
 			return err
 		}
 		defer stop()
 		baseURL = url
 		fmt.Fprintf(os.Stderr, "loadgen: self-serving %s target on %s\n", *self, url)
+	default:
+		baseURL = *target
 	}
-	tgt := loadgen.NewTarget(baseURL, *maxInFlight)
-	defer tgt.Client.CloseIdleConnections()
 
 	runCfg := loadgen.RunConfig{
 		Arrival:         spec,
@@ -119,9 +166,27 @@ func loadgenCmd(args []string) error {
 		Scenario: scenario.Name,
 		Arrival:  spec,
 	}
+	if inCluster {
+		report.Target = strings.Join(seeds, ",")
+	}
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
+
+	if inCluster {
+		return runClusterLoad(ctx, clusterLoadConfig{
+			seeds: seeds, token: *clusterToken, split: *clusterSplit,
+			refresh: *refreshRing, maxConns: *maxInFlight,
+			sweep: *sweep, stepDur: *stepDuration, cooldown: *cooldown,
+			sloP99: *sloP99, sloErrors: *sloErrors,
+			rate: *rate, duration: *duration,
+			fault: *fault, killMember: killMember,
+			run: runCfg, report: report, outPath: *outPath,
+		})
+	}
+
+	tgt := loadgen.NewTarget(baseURL, *maxInFlight)
+	defer tgt.Client.CloseIdleConnections()
 
 	if *sweep != "" {
 		start, step, max, err := parseSweep(*sweep)
@@ -176,16 +241,287 @@ func loadgenCmd(args []string) error {
 		}
 	}
 
+	return writeReport(report, *outPath)
+}
+
+// writeReport marshals the report to -out or stdout.
+func writeReport(report loadgen.Report, outPath string) error {
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
-	if *outPath != "" {
-		return os.WriteFile(*outPath, enc, 0o644)
+	if outPath != "" {
+		return os.WriteFile(outPath, enc, 0o644)
 	}
 	_, err = os.Stdout.Write(enc)
 	return err
+}
+
+// clusterLoadConfig carries the resolved cluster-mode flags into
+// runClusterLoad.
+type clusterLoadConfig struct {
+	seeds      []string
+	token      string
+	split      string
+	refresh    time.Duration
+	maxConns   int
+	sweep      string
+	stepDur    time.Duration
+	cooldown   time.Duration
+	sloP99     float64
+	sloErrors  float64
+	rate       float64
+	duration   time.Duration
+	fault      string
+	killMember func(string) error
+	run        loadgen.RunConfig
+	report     loadgen.Report
+	outPath    string
+}
+
+// runClusterLoad is the cluster half of loadgenCmd: drive the discovered
+// membership through one step or a sweep, narrate progress to stderr, and
+// write the aggregated report.
+func runClusterLoad(ctx context.Context, cfg clusterLoadConfig) error {
+	drv, err := loadgen.NewClusterDriver(loadgen.ClusterConfig{
+		Seeds: cfg.seeds, Token: cfg.token, Split: cfg.split,
+		RefreshInterval: cfg.refresh, MaxConns: cfg.maxConns,
+	})
+	if err != nil {
+		return err
+	}
+	defer drv.Close()
+
+	if cfg.sweep != "" {
+		start, step, max, err := parseSweep(cfg.sweep)
+		if err != nil {
+			return err
+		}
+		slo := loadgen.SLO{P99Ms: cfg.sloP99, MaxErrorRate: cfg.sloErrors}
+		cfg.report.SLO = &slo
+		var plan *loadgen.FaultPlan
+		if cfg.fault != "" {
+			fstep, fmember, fpid, err := parseFault(cfg.fault)
+			if err != nil {
+				return err
+			}
+			kill := cfg.killMember
+			if kill == nil {
+				if fpid <= 0 {
+					return fmt.Errorf("loadgen: -fault against an external cluster needs pid=<pid> to SIGKILL")
+				}
+				kill = func(string) error { return syscall.Kill(fpid, syscall.SIGKILL) }
+			}
+			plan = &loadgen.FaultPlan{Step: fstep, Member: fmember, Kill: kill}
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: cluster-sweeping %g -> %g/s in steps of %g (%v per step) across %s\n",
+			start, max, step, cfg.stepDur, cfg.report.Target)
+		res, err := drv.ClusterSweep(ctx, loadgen.ClusterSweepConfig{
+			Start: start, Step: step, Max: max,
+			StepDuration: cfg.stepDur, Cooldown: cfg.cooldown,
+			SLO: slo, Run: cfg.run, Fault: plan,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.report.ClusterSweep = &res
+		for _, s := range res.Steps {
+			loaded := 0
+			for _, m := range s.Members {
+				if m.Step != nil {
+					loaded++
+				}
+			}
+			note := ""
+			if s.Fault != "" {
+				note = "  [killed " + s.Fault + "]"
+			}
+			fmt.Fprintf(os.Stderr, "  %8.0f/s offered to %d members: %7.1f/s achieved, p50 %.3fms p99 %.3fms p999 %.3fms, errors %.4f%s\n",
+				s.OfferedRate, loaded, s.AchievedRate, s.P50Ms, s.P99Ms, s.P999Ms, s.ErrorRate, note)
+		}
+		if res.Knee != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: cluster knee at %g/s (p99 %.3fms, errors %.4f)\n",
+				res.Knee.OfferedRate, res.Knee.P99Ms, res.Knee.ErrorRate)
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: no cluster knee — every step breached: %s\n", res.BreachReason)
+		}
+		if res.Fault != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: fault injected at step %d: killed %s\n", res.Fault.Step, res.Fault.Member)
+		}
+		for _, m := range res.Members {
+			if m.State != cluster.MemberAlive {
+				fmt.Fprintf(os.Stderr, "loadgen: member %s ended the sweep %s\n", m.Addr, m.State)
+			}
+		}
+	} else {
+		rc := cfg.run
+		rc.Rate, rc.Duration = cfg.rate, cfg.duration
+		fmt.Fprintf(os.Stderr, "loadgen: offering %g/s for %v across %s\n", cfg.rate, cfg.duration, cfg.report.Target)
+		res, err := drv.ClusterStep(ctx, rc)
+		if err != nil {
+			return err
+		}
+		cfg.report.ClusterRun = &res
+		fmt.Fprintf(os.Stderr, "loadgen: %d sent across %d members, %d ok, %d rejected, %d errored, %d dropped; p50 %.3fms p99 %.3fms p999 %.3fms\n",
+			res.Sent, len(res.Members), res.Succeeded, res.Rejected, res.Errored, res.Dropped, res.P50Ms, res.P99Ms, res.P999Ms)
+	}
+	return writeReport(cfg.report, cfg.outPath)
+}
+
+// parseFault parses the -fault spec: comma-separated key=value pairs with
+// keys step (1-based sweep step, required), member (address to kill), and
+// pid (process to SIGKILL for external clusters).
+func parseFault(s string) (step int, member string, pid int, err error) {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, "", 0, fmt.Errorf("loadgen: fault entry %q is not key=value", part)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "step":
+			v, perr := strconv.Atoi(val)
+			if perr != nil || v < 1 {
+				return 0, "", 0, fmt.Errorf("loadgen: fault step %q must be a positive integer", val)
+			}
+			step = v
+		case "member":
+			if val == "" {
+				return 0, "", 0, fmt.Errorf("loadgen: fault member must not be empty")
+			}
+			member = val
+		case "pid":
+			v, perr := strconv.Atoi(val)
+			if perr != nil || v <= 0 {
+				return 0, "", 0, fmt.Errorf("loadgen: fault pid %q must be a positive integer", val)
+			}
+			pid = v
+		default:
+			return 0, "", 0, fmt.Errorf("loadgen: unknown fault key %q (want step, member, or pid)", key)
+		}
+	}
+	if step < 1 {
+		return 0, "", 0, fmt.Errorf("loadgen: fault spec %q needs step=<n>", s)
+	}
+	return step, member, pid, nil
+}
+
+// startSelfCluster boots n in-process cluster members wired all-to-all —
+// a full local cluster behind one command, which is how scripts/bench.sh
+// --cluster-sweep and the check.sh smoke measure cluster capacity without
+// managing processes. Returns a stop function, the member seed URLs, and
+// a kill hook that tears one member down abruptly (listener, connections,
+// and background loops) for -fault injection.
+func startSelfCluster(mode string, n int, steer string, cfg serve.Config) (func(), []string, func(string) error, error) {
+	newRegistry := func() (*predict.Registry, string) {
+		reg := predict.NewRegistry()
+		reg.MustRegister(predict.NewRooflineEngine())
+		return reg, predict.EngineRoofline
+	}
+	switch mode {
+	case "roofline":
+	case "quick":
+		fmt.Fprintln(os.Stderr, "loadgen: training a reduced in-process predictor for the cluster...")
+		p := quickPredictor()
+		newRegistry = func() (*predict.Registry, string) {
+			reg := predict.NewRegistry()
+			reg.MustRegister(predict.NewCoreEngine(p))
+			reg.MustRegister(predict.NewRooflineEngine())
+			reg.MustRegister(predict.NewSimEngine(gpusim.New()))
+			return reg, predict.EngineNeuSight
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("loadgen: unknown -self mode %q (want roofline or quick)", mode)
+	}
+
+	type member struct {
+		addr string
+		node *cluster.Node
+		srv  *http.Server
+	}
+	members := make([]*member, 0, n)
+	closeAll := func() {
+		for _, m := range members {
+			m.srv.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		reg, def := newRegistry()
+		svc := serve.NewMulti(reg, def, cfg)
+		node, err := cluster.NewNode(cluster.Config{
+			Self:  ln.Addr().String(),
+			Steer: steer,
+			// Snappy failure detection: a local capacity sweep holds each
+			// step for a second or two, so an injected kill must be
+			// detected and failed over within a step, not the ~4s the
+			// production defaults allow.
+			PollInterval:   200 * time.Millisecond,
+			HealthInterval: 200 * time.Millisecond,
+			SuspectAfter:   1,
+			DeadAfter:      2,
+			Registry:       reg,
+			DefaultEngine:  def,
+			Invalidate:     svc.InvalidateEngine,
+		})
+		if err != nil {
+			ln.Close()
+			closeAll()
+			return nil, nil, nil, err
+		}
+		srv := &http.Server{Handler: node.Handler(serve.NewHandler(svc)), ReadHeaderTimeout: 10 * time.Second}
+		go srv.Serve(ln)
+		members = append(members, &member{addr: ln.Addr().String(), node: node, srv: srv})
+	}
+	for i, m := range members {
+		peers := make([]string, 0, n-1)
+		for j, o := range members {
+			if j != i {
+				peers = append(peers, o.addr)
+			}
+		}
+		m.node.SetPeers(peers)
+		m.node.Start()
+	}
+
+	// Per-member idempotent teardown: the fault hook and the final stop
+	// may both reach the same member (Node.Stop is once-only).
+	kills := make(map[string]func(), n)
+	seeds := make([]string, n)
+	for i, m := range members {
+		m := m
+		var once sync.Once
+		kills[m.addr] = func() {
+			once.Do(func() {
+				m.node.Stop()
+				m.srv.Close()
+			})
+		}
+		seeds[i] = "http://" + m.addr
+	}
+	stop := func() {
+		for _, k := range kills {
+			k()
+		}
+	}
+	kill := func(addr string) error {
+		k, ok := kills[addr]
+		if !ok {
+			return fmt.Errorf("loadgen: fault member %q is not one of the self-cluster members", addr)
+		}
+		k()
+		return nil
+	}
+	return stop, seeds, kill, nil
 }
 
 // buildScenario resolves the -trace/-mix flags into a request pool.

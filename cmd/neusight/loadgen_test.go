@@ -67,3 +67,42 @@ func TestParseSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		in      string
+		step    int
+		member  string
+		pid     int
+		wantErr bool
+	}{
+		{in: "step=2", step: 2},
+		{in: "step=3,member=127.0.0.1:8080", step: 3, member: "127.0.0.1:8080"},
+		{in: " step=1 , member=host:1 , pid=42 ", step: 1, member: "host:1", pid: 42},
+		{in: "", wantErr: true},                   // no step
+		{in: "member=host:1", wantErr: true},      // no step
+		{in: "step=0", wantErr: true},             // step must be >= 1
+		{in: "step=x", wantErr: true},             // non-numeric step
+		{in: "step=2,pid=0", wantErr: true},       // pid must be positive
+		{in: "step=2,member=", wantErr: true},     // empty member
+		{in: "step=2,node=host:1", wantErr: true}, // unknown key
+		{in: "step", wantErr: true},               // not key=value
+	}
+	for _, tc := range cases {
+		step, member, pid, err := parseFault(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseFault(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFault(%q): %v", tc.in, err)
+			continue
+		}
+		if step != tc.step || member != tc.member || pid != tc.pid {
+			t.Errorf("parseFault(%q) = %d/%q/%d, want %d/%q/%d",
+				tc.in, step, member, pid, tc.step, tc.member, tc.pid)
+		}
+	}
+}

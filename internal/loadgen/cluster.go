@@ -1,0 +1,710 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"neusight/internal/cluster"
+	"neusight/internal/serve"
+)
+
+// Cluster mode turns the single-target harness into a cluster-wide one: a
+// ClusterDriver discovers the membership from any seed member's
+// GET /v2/cluster/ring, fans one offered-rate stream across every live
+// member, and aggregates the per-member StepResults into one
+// ClusterStepResult — merged latency histograms (exact, because the
+// fixed-bucket design merges losslessly), summed outcome counters, and
+// per-member /v2/stats deltas. Stepped sweeps then walk the offered rate
+// to a *cluster* knee, and a FaultPlan can kill a chosen member at a
+// chosen sweep step so the report captures the error spike, the failover
+// window, and the recovery — PR 7's kill-a-member e2e as a measured,
+// reproducible experiment instead of a pass/fail gate.
+
+// Load-split modes for ClusterConfig.Split.
+const (
+	// SplitOwnership routes each request of the scenario to the member
+	// that owns its (engine, GPU) shard under the current ring — the
+	// steady state steering would converge to, with no redirect/proxy
+	// hops. Requests whose owner cannot be resolved (engine defaulted on
+	// a multi-engine cluster, owner momentarily off-ring) spread
+	// round-robin. The default.
+	SplitOwnership = "ownership"
+	// SplitUniform offers every member an equal share of the stream,
+	// whatever it owns — each member's steering (follow-307 redirects or
+	// transparent proxying) carries misplaced requests to their owner, so
+	// this mode measures the cluster including its steering overhead.
+	SplitUniform = "uniform"
+)
+
+// DefaultControlTimeout bounds each control-plane round trip the driver
+// makes (ring fetch, per-member /v2/stats): a member that died mid-sweep
+// must cost a bounded wait, never hang the experiment.
+const DefaultControlTimeout = 2 * time.Second
+
+// ClusterConfig assembles a ClusterDriver.
+type ClusterConfig struct {
+	// Seeds are base URLs (e.g. "http://127.0.0.1:8080") of cluster
+	// members to discover the membership from. Any one reachable seed is
+	// enough; discovered members become fallback sources for later
+	// refreshes, so the driver survives the seed itself dying mid-sweep.
+	Seeds []string
+	// Token is the control-plane bearer token (-cluster-token on the
+	// members); empty for an unauthenticated cluster.
+	Token string
+	// Split picks the load-split mode (SplitOwnership, SplitUniform).
+	// Empty means SplitOwnership.
+	Split string
+	// RefreshInterval is the minimum age before the cached ring view is
+	// re-fetched at a sweep-step boundary. Zero refreshes before every
+	// step — the default, so evictions and joins are tracked at step
+	// granularity; raise it to trade staleness for fewer control-plane
+	// round trips on long sweeps.
+	RefreshInterval time.Duration
+	// ControlTimeout bounds each ring/stats round trip (0 =
+	// DefaultControlTimeout).
+	ControlTimeout time.Duration
+	// MaxConns sizes each per-member HTTP client's connection pool, like
+	// NewTarget (0 = DefaultMaxInFlight).
+	MaxConns int
+}
+
+// ClusterDriver fans load across a discovered cluster membership. Safe for
+// sequential use only (one step or sweep at a time), like the single-node
+// driver.
+type ClusterDriver struct {
+	token           string
+	split           string
+	refreshInterval time.Duration
+	controlTimeout  time.Duration
+	maxConns        int
+	control         *http.Client
+
+	mu      sync.Mutex
+	targets map[string]*Target // member addr -> reusable target
+	sources []string           // base URLs tried in order for ring fetches
+	seeds   []string           // the configured seeds, always kept as fallback
+	view    *ClusterView
+}
+
+// ClusterView is one snapshot of the cluster's ring: the live members
+// traffic can be offered to, every known member's failure-detector state,
+// and the (engine, GPU) -> owner assignment the ownership split routes by.
+type ClusterView struct {
+	// Source is the base URL of the member that served the snapshot.
+	Source string
+	// Members are the non-dead members on the ring, sorted.
+	Members []string
+	// States maps every known member address (dead ones included) to its
+	// failure-detector state (alive, suspect, dead).
+	States map[string]string
+	// Owners maps "engine|gpu" to the owning member's address.
+	Owners map[string]string
+	// Engines are the distinct engine names appearing in the assignment.
+	Engines   []string
+	FetchedAt time.Time
+}
+
+// NewClusterDriver validates cfg. No network traffic happens until the
+// first step or an explicit Refresh.
+func NewClusterDriver(cfg ClusterConfig) (*ClusterDriver, error) {
+	seeds := make([]string, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("loadgen: cluster driver needs at least one seed URL")
+	}
+	split := cfg.Split
+	if split == "" {
+		split = SplitOwnership
+	}
+	if split != SplitOwnership && split != SplitUniform {
+		return nil, fmt.Errorf("loadgen: unknown cluster split %q (want %s or %s)", cfg.Split, SplitOwnership, SplitUniform)
+	}
+	controlTimeout := cfg.ControlTimeout
+	if controlTimeout <= 0 {
+		controlTimeout = DefaultControlTimeout
+	}
+	return &ClusterDriver{
+		token:           cfg.Token,
+		split:           split,
+		refreshInterval: cfg.RefreshInterval,
+		controlTimeout:  controlTimeout,
+		maxConns:        cfg.MaxConns,
+		control:         &http.Client{},
+		targets:         map[string]*Target{},
+		sources:         append([]string(nil), seeds...),
+		seeds:           seeds,
+	}, nil
+}
+
+// Close releases every member target's idle connections.
+func (d *ClusterDriver) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.targets {
+		t.Client.CloseIdleConnections()
+	}
+	d.control.CloseIdleConnections()
+}
+
+// target returns the reusable Target for a member address.
+func (d *ClusterDriver) target(addr string) *Target {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.targets[addr]
+	if t == nil {
+		t = NewTarget("http://"+addr, d.maxConns)
+		d.targets[addr] = t
+	}
+	return t
+}
+
+// Refresh fetches a fresh ring view from the first source that answers —
+// the configured seeds plus every member discovered so far — and caches
+// it. All sources failing is an error only when no cached view exists;
+// otherwise the stale view stays in use (and the vanished members it
+// lists will show up as Errored sends, not a hung step).
+func (d *ClusterDriver) Refresh(ctx context.Context) (*ClusterView, error) {
+	d.mu.Lock()
+	sources := append([]string(nil), d.sources...)
+	d.mu.Unlock()
+
+	var firstErr error
+	for _, src := range sources {
+		view, err := d.fetchRing(ctx, src)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		d.mu.Lock()
+		d.view = view
+		// The answering source first, then every live member, then the
+		// configured seeds as a last resort — deduplicated in order.
+		next := []string{src}
+		for _, m := range view.Members {
+			next = append(next, "http://"+m)
+		}
+		next = append(next, d.seeds...)
+		seen := map[string]bool{}
+		d.sources = d.sources[:0]
+		for _, s := range next {
+			if !seen[s] {
+				seen[s] = true
+				d.sources = append(d.sources, s)
+			}
+		}
+		d.mu.Unlock()
+		return view, nil
+	}
+	d.mu.Lock()
+	stale := d.view
+	d.mu.Unlock()
+	if stale != nil {
+		return stale, nil
+	}
+	return nil, fmt.Errorf("loadgen: no cluster member answered %s (tried %d sources): %w",
+		cluster.RouteRing, len(sources), firstErr)
+}
+
+// currentView returns the cached view when it is fresh enough, refreshing
+// otherwise.
+func (d *ClusterDriver) currentView(ctx context.Context) (*ClusterView, error) {
+	d.mu.Lock()
+	view := d.view
+	d.mu.Unlock()
+	if view != nil && d.refreshInterval > 0 && time.Since(view.FetchedAt) < d.refreshInterval {
+		return view, nil
+	}
+	return d.Refresh(ctx)
+}
+
+// fetchRing GETs one member's /v2/cluster/ring and shapes it into a view.
+func (d *ClusterDriver) fetchRing(ctx context.Context, baseURL string) (*ClusterView, error) {
+	ctx, cancel := context.WithTimeout(ctx, d.controlTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+cluster.RouteRing, nil)
+	if err != nil {
+		return nil, err
+	}
+	if d.token != "" {
+		req.Header.Set("Authorization", "Bearer "+d.token)
+	}
+	resp, err := d.control.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s%s returned %d", baseURL, cluster.RouteRing, resp.StatusCode)
+	}
+	var ring cluster.RingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding %s%s: %w", baseURL, cluster.RouteRing, err)
+	}
+	view := &ClusterView{
+		Source:    baseURL,
+		Members:   append([]string(nil), ring.Members...),
+		States:    map[string]string{},
+		Owners:    map[string]string{},
+		FetchedAt: time.Now(),
+	}
+	sort.Strings(view.Members)
+	for _, ms := range ring.MemberStates {
+		view.States[ms.Addr] = ms.State
+	}
+	engines := map[string]bool{}
+	for _, a := range ring.Assignments {
+		view.Owners[a.Engine+"|"+a.GPU] = a.Owner
+		engines[a.Engine] = true
+	}
+	for e := range engines {
+		view.Engines = append(view.Engines, e)
+	}
+	sort.Strings(view.Engines)
+	return view, nil
+}
+
+// memberPlan is one member's slice of a cluster step: the fraction of the
+// offered stream it receives and the sub-scenario carrying it.
+type memberPlan struct {
+	addr     string
+	weight   float64
+	scenario *Scenario
+}
+
+// splitLoad divides the scenario across the view's live members. Under
+// SplitOwnership each pooled request goes to the member owning its
+// (engine, GPU) key — an empty engine resolves when the cluster serves
+// exactly one engine — and unresolvable requests spread round-robin.
+// Under SplitUniform every member gets the whole scenario at equal
+// weight. Weights sum to 1 across the returned plans.
+func splitLoad(sc *Scenario, view *ClusterView, split string) []memberPlan {
+	members := view.Members
+	if len(members) == 0 {
+		return nil
+	}
+	if split == SplitUniform || len(view.Owners) == 0 {
+		plans := make([]memberPlan, len(members))
+		w := 1.0 / float64(len(members))
+		for i, m := range members {
+			plans[i] = memberPlan{addr: m, weight: w, scenario: sc}
+		}
+		return plans
+	}
+	onRing := map[string]int{}
+	for i, m := range members {
+		onRing[m] = i
+	}
+	pools := make([][]Request, len(members))
+	rr := 0
+	for i := 0; i < sc.Len(); i++ {
+		req := sc.reqs[i]
+		engine := req.Engine
+		if engine == "" && len(view.Engines) == 1 {
+			engine = view.Engines[0]
+		}
+		idx := -1
+		if engine != "" {
+			if owner, ok := view.Owners[engine+"|"+req.GPU]; ok {
+				if j, live := onRing[owner]; live {
+					idx = j
+				}
+			}
+		}
+		if idx < 0 {
+			// Unresolvable (defaulted engine on a multi-engine cluster,
+			// unassigned key, or the owner just left the ring): spread
+			// round-robin so no request is silently dropped.
+			idx = rr % len(members)
+			rr++
+		}
+		pools[idx] = append(pools[idx], req)
+	}
+	var plans []memberPlan
+	total := float64(sc.Len())
+	for i, m := range members {
+		if len(pools[i]) == 0 {
+			continue
+		}
+		plans = append(plans, memberPlan{
+			addr:     m,
+			weight:   float64(len(pools[i])) / total,
+			scenario: &Scenario{Name: sc.Name + "@" + m, reqs: pools[i]},
+		})
+	}
+	return plans
+}
+
+// MemberStep is one member's slice of a ClusterStepResult.
+type MemberStep struct {
+	Addr string `json:"addr"`
+	// State is the member's failure-detector state at the step's start
+	// (alive, suspect, dead). Dead members receive no traffic but stay in
+	// the report — a capacity experiment that silently forgets a corpse
+	// would hide exactly the failure it exists to measure.
+	State string `json:"state"`
+	// Weight is the fraction of the offered stream this member received.
+	Weight float64 `json:"weight"`
+	// Step is the member's measured sub-step (nil when it received no
+	// traffic).
+	Step *StepResult `json:"step,omitempty"`
+	// Server is the member's own /v2/stats delta across the step; nil,
+	// with StatsUnreachable set, when the member could not be asked —
+	// which is the report's direct evidence of a member dying mid-step.
+	Server           *ServerDelta `json:"server,omitempty"`
+	StatsUnreachable bool         `json:"stats_unreachable,omitempty"`
+}
+
+// ClusterStepResult aggregates one fixed-rate step offered across the
+// cluster: the embedded StepResult is the cluster-wide view (summed
+// counters, percentiles over the exactly-merged histograms, summed
+// server deltas), Members the per-member breakdown.
+type ClusterStepResult struct {
+	StepResult
+	// SLOOk and SLOReason record the sweep's SLO verdict for this step
+	// (sweeps only; a standalone step leaves them zero). Sweeps with a
+	// fault plan keep stepping past a breach, so the verdict must live
+	// per step rather than only at the end.
+	SLOOk     bool   `json:"slo_ok"`
+	SLOReason string `json:"slo_reason,omitempty"`
+	// Fault names the member killed at the start of this step, when the
+	// sweep's FaultPlan fired here.
+	Fault   string       `json:"fault,omitempty"`
+	Members []MemberStep `json:"members"`
+}
+
+// ClusterStep offers one fixed-rate step across the cluster and
+// aggregates the result. The ring view is refreshed first (subject to
+// RefreshInterval).
+func (d *ClusterDriver) ClusterStep(ctx context.Context, cfg RunConfig) (ClusterStepResult, error) {
+	view, err := d.currentView(ctx)
+	if err != nil {
+		return ClusterStepResult{}, err
+	}
+	return d.stepWithView(ctx, view, cfg)
+}
+
+// stepWithView runs one cluster step against a fixed view: stats before,
+// concurrent per-member sub-steps, stats after, merge.
+func (d *ClusterDriver) stepWithView(ctx context.Context, view *ClusterView, cfg RunConfig) (ClusterStepResult, error) {
+	if cfg.Scenario == nil || cfg.Scenario.Len() == 0 {
+		return ClusterStepResult{}, fmt.Errorf("loadgen: empty scenario")
+	}
+	plans := splitLoad(cfg.Scenario, view, d.split)
+	if len(plans) == 0 {
+		return ClusterStepResult{}, fmt.Errorf("loadgen: cluster view from %s has no live members", view.Source)
+	}
+
+	before := d.statsAll(ctx, plans)
+
+	results := make([]StepResult, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i, p := range plans {
+		sub := cfg
+		sub.Rate = cfg.Rate * p.weight
+		sub.Scenario = p.scenario
+		sub.SkipServerStats = true // member deltas are taken cluster-wide below
+		// Decorrelate member arrival streams: same-seed Poisson processes
+		// would fire simultaneously at every member, measuring synchronized
+		// bursts the configured process does not describe.
+		sub.Arrival.Seed = cfg.Arrival.Seed + int64(i+1)*1_000_003
+		wg.Add(1)
+		go func(i int, p memberPlan, sub RunConfig) {
+			defer wg.Done()
+			results[i], errs[i] = Run(ctx, d.target(p.addr), sub)
+		}(i, p, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ClusterStepResult{}, err
+		}
+	}
+
+	after := d.statsAll(ctx, plans)
+
+	// Aggregate: counters sum; latency percentiles come from the exact
+	// bucket-level merge of every member's histogram.
+	hist := NewHistogram()
+	out := ClusterStepResult{}
+	out.OfferedRate = cfg.Rate
+	var maxDur float64
+	var serverTotal ServerDelta
+	haveServer := false
+	for i, p := range plans {
+		r := results[i]
+		out.Sent += r.Sent
+		out.Succeeded += r.Succeeded
+		out.Rejected += r.Rejected
+		out.Errored += r.Errored
+		out.Dropped += r.Dropped
+		out.Observed += r.Observed
+		out.ObserveRejected += r.ObserveRejected
+		if r.DurationSec > maxDur {
+			maxDur = r.DurationSec
+		}
+		hist.Merge(r.hist)
+
+		ms := MemberStep{Addr: p.addr, State: view.States[p.addr], Weight: p.weight}
+		rc := r
+		ms.Step = &rc
+		if b, ok := before[p.addr]; ok {
+			if a, ok := after[p.addr]; ok {
+				ms.Server = deltaStats(b, a)
+				serverTotal = addDelta(serverTotal, *ms.Server)
+				haveServer = true
+			} else {
+				ms.StatsUnreachable = true
+			}
+		} else {
+			ms.StatsUnreachable = true
+		}
+		out.Members = append(out.Members, ms)
+	}
+	// Members the view knows about but that got no traffic (dead, or
+	// owning nothing) still appear in the breakdown.
+	planned := map[string]bool{}
+	for _, p := range plans {
+		planned[p.addr] = true
+	}
+	var rest []string
+	for addr := range view.States {
+		if !planned[addr] {
+			rest = append(rest, addr)
+		}
+	}
+	sort.Strings(rest)
+	for _, addr := range rest {
+		out.Members = append(out.Members, MemberStep{Addr: addr, State: view.States[addr]})
+	}
+
+	qs := hist.Quantiles(0.50, 0.99, 0.999)
+	out.P50Ms, out.P99Ms, out.P999Ms = qs[0], qs[1], qs[2]
+	out.MeanMs, out.MaxMs = hist.MeanMs(), hist.MaxMs()
+	out.DurationSec = maxDur
+	out.hist = hist
+	if maxDur > 0 {
+		out.AchievedRate = float64(out.Succeeded) / maxDur
+	}
+	if offered := out.Sent + out.Dropped; offered > 0 {
+		out.ErrorRate = float64(out.Rejected+out.Errored+out.Dropped) / float64(offered)
+	}
+	if haveServer {
+		st := serverTotal
+		out.Server = &st
+	}
+	return out, nil
+}
+
+// statsAll snapshots /v2/stats from each planned member concurrently,
+// each fetch bounded by the control timeout. Missing members are simply
+// absent from the returned map.
+func (d *ClusterDriver) statsAll(ctx context.Context, plans []memberPlan) map[string]serve.StatsV2 {
+	out := make(map[string]serve.StatsV2, len(plans))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range plans {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, d.controlTimeout)
+			defer cancel()
+			st, err := d.target(addr).Stats(sctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out[addr] = st
+			mu.Unlock()
+		}(p.addr)
+	}
+	wg.Wait()
+	return out
+}
+
+func addDelta(a, b ServerDelta) ServerDelta {
+	a.Requests += b.Requests
+	a.BatchRequests += b.BatchRequests
+	a.BatchedKernels += b.BatchedKernels
+	a.GraphRequests += b.GraphRequests
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.Coalesced += b.Coalesced
+	a.Errors += b.Errors
+	a.Rejected += b.Rejected
+	return a
+}
+
+// FaultPlan injects one member failure into a cluster sweep: at the start
+// of sweep step Step (1-based), Kill is invoked with the chosen member's
+// address — before that step's traffic is offered and after the ring view
+// was refreshed, so the step measures a cluster that does not yet know
+// about the death. The sweep then runs its full schedule instead of
+// stopping at the first breach, so the report shows the spike and the
+// recovery, not just the spike.
+type FaultPlan struct {
+	// Step is the 1-based sweep step to inject at.
+	Step int
+	// Member is the address to kill; empty picks the member owning the
+	// largest share of the ring (excluding the current ring source, so
+	// discovery survives the kill).
+	Member string
+	// Kill performs the kill: SIGKILL for external processes, closing the
+	// member's server for in-process clusters.
+	Kill func(member string) error
+}
+
+// FaultRecord is the sweep report's account of an injected fault.
+type FaultRecord struct {
+	Step   int    `json:"step"`
+	Member string `json:"member"`
+	Error  string `json:"error,omitempty"`
+}
+
+// MemberHealth is one member's final state in a cluster sweep report.
+type MemberHealth struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+}
+
+// ClusterSweepConfig shapes a stepped cluster sweep; the rate fields and
+// SLO mean what they do in SweepConfig.
+type ClusterSweepConfig struct {
+	Start        float64       `json:"start"`
+	Step         float64       `json:"step"`
+	Max          float64       `json:"max"`
+	StepDuration time.Duration `json:"-"`
+	SLO          SLO           `json:"slo"`
+	Cooldown     time.Duration `json:"-"`
+	Run          RunConfig     `json:"-"`
+	// Fault optionally injects a member kill mid-sweep.
+	Fault *FaultPlan `json:"-"`
+}
+
+// ClusterSweepResult is the full record of one stepped cluster sweep.
+type ClusterSweepResult struct {
+	Steps []ClusterStepResult `json:"steps"`
+	// Knee is the highest offered rate that met the SLO — the cluster
+	// knee. With a fault plan the knee may come from a post-recovery step
+	// above the rate that breached during the outage.
+	Knee *Knee `json:"knee"`
+	// Breached reports whether the final step breached the SLO.
+	Breached     bool   `json:"breached"`
+	BreachReason string `json:"breach_reason,omitempty"`
+	// Fault records the injected kill, when the sweep had one.
+	Fault *FaultRecord `json:"fault,omitempty"`
+	// Members is the final roster: every member the ring knew at sweep
+	// end, with its failure-detector state — where a killed member shows
+	// up dead.
+	Members []MemberHealth `json:"members,omitempty"`
+}
+
+// pickVictim chooses the fault target when the plan names none: the live
+// member carrying the most weight under the current split, excluding the
+// member currently answering ring fetches so discovery survives the kill.
+func pickVictim(view *ClusterView, split string, sc *Scenario) string {
+	sourceAddr := strings.TrimPrefix(view.Source, "http://")
+	best, bestW := "", -1.0
+	for _, p := range splitLoad(sc, view, split) {
+		if p.addr == sourceAddr {
+			continue
+		}
+		if p.weight > bestW {
+			best, bestW = p.addr, p.weight
+		}
+	}
+	if best == "" && len(view.Members) > 0 {
+		best = view.Members[len(view.Members)-1]
+	}
+	return best
+}
+
+// ClusterSweep walks the offered rate up across the cluster. Without a
+// fault plan it stops at the first SLO breach, like the single-node
+// Sweep; with one it runs the whole schedule, because the steps after the
+// kill — the failover window and the recovery — are the experiment.
+func (d *ClusterDriver) ClusterSweep(ctx context.Context, cfg ClusterSweepConfig) (ClusterSweepResult, error) {
+	if cfg.Start <= 0 || cfg.Step <= 0 || cfg.Max < cfg.Start {
+		return ClusterSweepResult{}, fmt.Errorf("loadgen: sweep wants 0 < start <= max and step > 0, got start=%g step=%g max=%g",
+			cfg.Start, cfg.Step, cfg.Max)
+	}
+	if cfg.Fault != nil && (cfg.Fault.Step < 1 || cfg.Fault.Kill == nil) {
+		return ClusterSweepResult{}, fmt.Errorf("loadgen: fault plan wants step >= 1 and a kill hook")
+	}
+	stepDur := cfg.StepDuration
+	if stepDur <= 0 {
+		stepDur = 2 * time.Second
+	}
+	var out ClusterSweepResult
+	stepIdx := 0
+	for rate := cfg.Start; rate <= cfg.Max+1e-9; rate += cfg.Step {
+		stepIdx++
+		view, err := d.currentView(ctx)
+		if err != nil {
+			return out, err
+		}
+		fault := ""
+		if cfg.Fault != nil && out.Fault == nil && stepIdx >= cfg.Fault.Step {
+			member := cfg.Fault.Member
+			if member == "" {
+				member = pickVictim(view, d.split, cfg.Run.Scenario)
+			}
+			rec := &FaultRecord{Step: stepIdx, Member: member}
+			if err := cfg.Fault.Kill(member); err != nil {
+				rec.Error = err.Error()
+			}
+			out.Fault = rec
+			fault = member
+		}
+		rcfg := cfg.Run
+		rcfg.Rate = rate
+		rcfg.Duration = stepDur
+		res, err := d.stepWithView(ctx, view, rcfg)
+		if err != nil {
+			return out, err
+		}
+		res.Fault = fault
+		res.SLOOk, res.SLOReason = cfg.SLO.Check(res.StepResult)
+		out.Steps = append(out.Steps, res)
+		if res.SLOOk {
+			out.Breached, out.BreachReason = false, ""
+			if out.Knee == nil || rate > out.Knee.OfferedRate {
+				out.Knee = knee(res.StepResult)
+			}
+		} else {
+			out.Breached, out.BreachReason = true, res.SLOReason
+			if cfg.Fault == nil {
+				break
+			}
+		}
+		if cfg.Cooldown > 0 {
+			select {
+			case <-time.After(cfg.Cooldown):
+			case <-ctx.Done():
+				return out, ctx.Err()
+			}
+		}
+	}
+	// Final roster: one last refresh so the report's member section
+	// reflects the post-sweep cluster — a killed member shows up dead
+	// (or suspect, when the sweep outpaced the failure detector).
+	if view, err := d.Refresh(ctx); err == nil {
+		for addr, state := range view.States {
+			out.Members = append(out.Members, MemberHealth{Addr: addr, State: state})
+		}
+		sort.Slice(out.Members, func(i, j int) bool { return out.Members[i].Addr < out.Members[j].Addr })
+	}
+	return out, nil
+}

@@ -1,0 +1,460 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"neusight/internal/cluster"
+	"neusight/internal/predict"
+	"neusight/internal/serve"
+)
+
+// clusterMember is one in-process cluster member for driver tests: a full
+// serving stack (roofline engine, so predictions are instant) behind a
+// cluster node's steering/control handler, listening on a real loopback
+// socket.
+type clusterMember struct {
+	addr string
+	node *cluster.Node
+	// kill tears the member down abruptly — listener and active
+	// connections closed, background loops stopped — and is idempotent, so
+	// fault plans and test cleanup can both call it.
+	kill func()
+}
+
+// startClusterMember boots one member. start runs the gossip and health
+// loops (needed by failure-detection tests; agreement tests skip them for
+// determinism).
+func startClusterMember(t *testing.T, steer string, start bool) *clusterMember {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewRooflineEngine())
+	svc := serve.NewMulti(reg, predict.EngineRoofline, serve.Config{CacheSize: 4096})
+	node, err := cluster.NewNode(cluster.Config{
+		Self:           ln.Addr().String(),
+		Steer:          steer,
+		PollInterval:   50 * time.Millisecond,
+		HealthInterval: 50 * time.Millisecond,
+		RequestTimeout: 300 * time.Millisecond,
+		SuspectAfter:   1,
+		DeadAfter:      2,
+		Registry:       reg,
+		DefaultEngine:  predict.EngineRoofline,
+		Invalidate:     svc.InvalidateEngine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: node.Handler(serve.NewHandler(svc))}
+	go srv.Serve(ln)
+	m := &clusterMember{addr: ln.Addr().String(), node: node}
+	var once sync.Once
+	m.kill = func() {
+		once.Do(func() {
+			if start {
+				node.Stop()
+			}
+			srv.Close()
+		})
+	}
+	if start {
+		node.Start()
+	}
+	t.Cleanup(m.kill)
+	return m
+}
+
+// formCluster boots n members wired all-to-all.
+func formCluster(t *testing.T, n int, steer string, start bool) []*clusterMember {
+	t.Helper()
+	ms := make([]*clusterMember, n)
+	for i := range ms {
+		ms[i] = startClusterMember(t, steer, start)
+	}
+	for i, m := range ms {
+		peers := make([]string, 0, n-1)
+		for j, o := range ms {
+			if j != i {
+				peers = append(peers, o.addr)
+			}
+		}
+		m.node.SetPeers(peers)
+	}
+	return ms
+}
+
+// newClusterDriver builds a driver seeded from the first member.
+func newClusterDriver(t *testing.T, ms []*clusterMember, split string) *ClusterDriver {
+	t.Helper()
+	d, err := NewClusterDriver(ClusterConfig{
+		Seeds:          []string{"http://" + ms[0].addr},
+		Split:          split,
+		ControlTimeout: 2 * time.Second,
+		MaxConns:       256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// TestClusterStepAgreement is the cluster version of the exact-accounting
+// pin: across a live 3-member cluster, the driver's client-side totals
+// (Sent partitioned by Succeeded/Rejected/Errored) must equal the sum of
+// the per-member /v2/stats deltas — in redirect steering, proxy steering
+// (the uniform split forces cross-member steering of ~2/3 of the
+// traffic), and the ownership split (where agreement must hold per member,
+// because a correct split needs no steering at all).
+func TestClusterStepAgreement(t *testing.T) {
+	cases := []struct {
+		name  string
+		steer string
+		split string
+	}{
+		{"redirect-uniform", cluster.SteerRedirect, SplitUniform},
+		{"proxy-uniform", cluster.SteerProxy, SplitUniform},
+		{"redirect-ownership", cluster.SteerRedirect, SplitOwnership},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ms := formCluster(t, 3, tc.steer, false)
+			d := newClusterDriver(t, ms, tc.split)
+			res, err := d.ClusterStep(context.Background(), RunConfig{
+				Rate:     900,
+				Duration: 700 * time.Millisecond,
+				Arrival:  ArrivalSpec{Seed: 3},
+				Scenario: kernelOnlyMix(t, []string{"H100", "V100", "A100-40GB", "P100"}),
+				Timeout:  5 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sent == 0 {
+				t.Fatal("no requests sent")
+			}
+			if res.Dropped != 0 {
+				t.Fatalf("dropped %d client-side", res.Dropped)
+			}
+			if got := res.Succeeded + res.Rejected + res.Errored; got != res.Sent {
+				t.Errorf("outcome partition %d+%d+%d = %d != sent %d",
+					res.Succeeded, res.Rejected, res.Errored, got, res.Sent)
+			}
+			if res.Errored != 0 {
+				t.Errorf("errored = %d against a healthy local cluster", res.Errored)
+			}
+			if res.Server == nil {
+				t.Fatal("no aggregated server delta")
+			}
+			// The summed member deltas are the cluster's own account of the
+			// step; they must match the client totals exactly whatever path
+			// (direct, 307-redirected, proxied) each request took.
+			var sumReq, sumRej uint64
+			for _, m := range res.Members {
+				if m.StatsUnreachable {
+					t.Errorf("member %s stats unreachable in a healthy cluster", m.Addr)
+				}
+				if m.Server != nil {
+					sumReq += m.Server.Requests
+					sumRej += m.Server.Rejected
+				}
+			}
+			if sumReq != res.Succeeded {
+				t.Errorf("sum of member request deltas %d != client succeeded %d", sumReq, res.Succeeded)
+			}
+			if sumRej != res.Rejected {
+				t.Errorf("sum of member rejected deltas %d != client rejected %d", sumRej, res.Rejected)
+			}
+			if res.Server.Requests != sumReq {
+				t.Errorf("aggregate delta %d != member sum %d", res.Server.Requests, sumReq)
+			}
+			// The merged histogram must hold exactly the successes.
+			if h := res.Histogram(); h == nil || h.Count() != res.Succeeded {
+				t.Errorf("merged histogram count != succeeded %d", res.Succeeded)
+			}
+			if res.Succeeded > 0 && res.P50Ms <= 0 {
+				t.Errorf("p50 = %g with %d successes", res.P50Ms, res.Succeeded)
+			}
+			if tc.split == SplitUniform {
+				loaded := 0
+				for _, m := range res.Members {
+					if m.Step != nil && m.Step.Sent > 0 {
+						loaded++
+					}
+				}
+				if loaded != 3 {
+					t.Errorf("uniform split loaded %d/3 members", loaded)
+				}
+			}
+			if tc.split == SplitOwnership {
+				// A correct ownership split sends every request straight to
+				// its owner, so agreement must hold member by member — any
+				// cross-member steering would break the local equality.
+				for _, m := range res.Members {
+					if m.Step == nil || m.Server == nil {
+						continue
+					}
+					if m.Server.Requests != m.Step.Succeeded {
+						t.Errorf("member %s served %d but was sent %d successes — ownership split misrouted",
+							m.Addr, m.Server.Requests, m.Step.Succeeded)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterSweepKillMember is the measured version of the self-healing
+// story: a 4-step sweep with a member SIGKILL-equivalent (listener and
+// loops torn down) injected at step 2 must record (a) the error-rate
+// spike while the driver's view is stale, (b) recovery under the SLO at a
+// later, higher-rate step once the failure detector evicts the corpse and
+// its shards fail over, and (c) the dead member marked in the final
+// roster. Runs under -race via the package's race gate.
+func TestClusterSweepKillMember(t *testing.T) {
+	ms := formCluster(t, 3, cluster.SteerRedirect, true)
+	d := newClusterDriver(t, ms, SplitUniform)
+	corpse := ms[2]
+	res, err := d.ClusterSweep(context.Background(), ClusterSweepConfig{
+		Start:        150,
+		Step:         150,
+		Max:          600,
+		StepDuration: 400 * time.Millisecond,
+		Cooldown:     500 * time.Millisecond,
+		SLO:          SLO{MaxErrorRate: 0.05},
+		Run: RunConfig{
+			Arrival:  ArrivalSpec{Seed: 9},
+			Scenario: kernelOnlyMix(t, []string{"H100", "V100", "A100-40GB", "P100"}),
+			Timeout:  2 * time.Second,
+		},
+		Fault: &FaultPlan{
+			Step:   2,
+			Member: corpse.addr,
+			Kill:   func(string) error { corpse.kill(); return nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("fault sweep ran %d steps, want the full 4-step schedule", len(res.Steps))
+	}
+	if res.Fault == nil || res.Fault.Step != 2 || res.Fault.Member != corpse.addr || res.Fault.Error != "" {
+		t.Fatalf("fault record = %+v, want clean kill of %s at step 2", res.Fault, corpse.addr)
+	}
+
+	// (a) The kill step measures the outage: the driver's freshly-refreshed
+	// view still lists the corpse, so its share of the offered stream fails
+	// and the error rate spikes past the SLO.
+	spike := res.Steps[1]
+	if spike.Fault != corpse.addr {
+		t.Errorf("step 2 fault = %q, want %s", spike.Fault, corpse.addr)
+	}
+	if spike.Errored == 0 {
+		t.Error("kill step recorded no errored sends")
+	}
+	if spike.SLOOk || spike.ErrorRate <= 0.05 {
+		t.Errorf("kill step error rate %.4f did not breach the 0.05 SLO", spike.ErrorRate)
+	}
+
+	// (b) Recovery: by the final (highest-rate) step the ring has evicted
+	// the corpse, the driver's refresh dropped it, and its shards answer
+	// from replicas — back under the SLO at a rate above the spike's.
+	final := res.Steps[3]
+	if !final.SLOOk {
+		t.Errorf("final step did not recover: error rate %.4f (%s)", final.ErrorRate, final.SLOReason)
+	}
+	for _, m := range final.Members {
+		if m.Addr == corpse.addr && m.Weight != 0 {
+			t.Errorf("final step still offered weight %g to the dead member", m.Weight)
+		}
+	}
+	if res.Knee == nil {
+		t.Fatal("no cluster knee despite recovered steps")
+	}
+	if res.Knee.OfferedRate <= 150 {
+		t.Errorf("knee %.0f req/s not above the sweep start despite recovery", res.Knee.OfferedRate)
+	}
+
+	// (c) The final roster marks the corpse dead.
+	found := false
+	for _, m := range res.Members {
+		if m.Addr == corpse.addr {
+			found = true
+			if m.State != cluster.MemberDead {
+				t.Errorf("dead member state = %q, want %q", m.State, cluster.MemberDead)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dead member %s missing from final roster %v", corpse.addr, res.Members)
+	}
+}
+
+// TestClusterStepStaleMember is the eviction-race regression: a ring view
+// listing a member that no longer answers must cost the step bounded time
+// and Errored counts — never a hang. Both flavors are pinned: an address
+// that refuses connections outright (process died, socket closed) and one
+// that accepts and then never responds (process wedged), which is the
+// nastier case because only deadlines save the step.
+func TestClusterStepStaleMember(t *testing.T) {
+	// vanished reserves a loopback address and closes it: connects are
+	// refused instantly.
+	vanishedLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanished := vanishedLn.Addr().String()
+	vanishedLn.Close()
+
+	// wedged accepts connections and never writes a byte.
+	wedgedLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		connMu sync.Mutex
+		conns  []net.Conn
+	)
+	go func() {
+		for {
+			c, err := wedgedLn.Accept()
+			if err != nil {
+				return
+			}
+			connMu.Lock()
+			conns = append(conns, c)
+			connMu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		wedgedLn.Close()
+		connMu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		connMu.Unlock()
+	})
+
+	for _, tc := range []struct {
+		name string
+		addr string
+	}{
+		{"connection-refused", vanished},
+		{"accepts-never-answers", wedgedLn.Addr().String()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			live := startClusterMember(t, cluster.SteerOff, false)
+			// The stale list: the live member still believes tc.addr is a
+			// peer (no health loops run, so nothing evicts it), and the
+			// driver discovers exactly that stale view.
+			live.node.SetPeers([]string{tc.addr})
+			d, err := NewClusterDriver(ClusterConfig{
+				Seeds:          []string{"http://" + live.addr},
+				Split:          SplitUniform,
+				ControlTimeout: 300 * time.Millisecond,
+				MaxConns:       64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(d.Close)
+
+			start := time.Now()
+			res, err := d.ClusterStep(context.Background(), RunConfig{
+				Rate:     300,
+				Duration: 300 * time.Millisecond,
+				Arrival:  ArrivalSpec{Seed: 5},
+				Scenario: kernelOnlyMix(t, []string{"H100"}),
+				Timeout:  300 * time.Millisecond,
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if elapsed > 10*time.Second {
+				t.Fatalf("stale-member step took %v — the vanished member hung the step", elapsed)
+			}
+			if res.Errored == 0 {
+				t.Error("vanished member's failed sends were not counted as Errored")
+			}
+			if res.Succeeded == 0 {
+				t.Error("live member's share did not succeed")
+			}
+			if got := res.Succeeded + res.Rejected + res.Errored; got != res.Sent {
+				t.Errorf("outcome partition %d+%d+%d = %d != sent %d",
+					res.Succeeded, res.Rejected, res.Errored, got, res.Sent)
+			}
+			for _, m := range res.Members {
+				switch m.Addr {
+				case tc.addr:
+					if !m.StatsUnreachable {
+						t.Errorf("vanished member %s not flagged StatsUnreachable", m.Addr)
+					}
+					if m.Server != nil {
+						t.Errorf("vanished member %s has a server delta", m.Addr)
+					}
+				case live.addr:
+					if m.StatsUnreachable || m.Server == nil {
+						t.Errorf("live member %s lost its server delta", m.Addr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunStatsFetchBounded pins the single-target half of the same fix:
+// a target whose /v2/stats endpoint hangs (but whose predict endpoints
+// answer) must not hang Run — the step completes with Server == nil.
+func TestRunStatsFetchBounded(t *testing.T) {
+	reg := predict.NewRegistry()
+	reg.MustRegister(predict.NewRooflineEngine())
+	svc := serve.NewMulti(reg, predict.EngineRoofline, serve.Config{CacheSize: 256})
+	inner := serve.NewHandler(svc)
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) { <-hang })
+	mux.Handle("/", inner)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	tgt := NewTarget("http://"+ln.Addr().String(), 64)
+	t.Cleanup(tgt.Client.CloseIdleConnections)
+	start := time.Now()
+	res, err := Run(context.Background(), tgt, RunConfig{
+		Rate:     300,
+		Duration: 300 * time.Millisecond,
+		Arrival:  ArrivalSpec{Seed: 7},
+		Scenario: kernelOnlyMix(t, []string{"H100"}),
+		Timeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("run took %v against a hanging stats endpoint", elapsed)
+	}
+	if res.Server != nil {
+		t.Error("got a server delta from a stats endpoint that never answered")
+	}
+	if res.Succeeded == 0 {
+		t.Error("predict requests should have succeeded despite the hung stats endpoint")
+	}
+}

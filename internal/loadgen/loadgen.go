@@ -189,6 +189,30 @@ type StepResult struct {
 	// Server is the /v2/stats delta across the step (nil when skipped or
 	// unavailable).
 	Server *ServerDelta `json:"server,omitempty"`
+
+	// hist is the step's full latency histogram, kept so the cluster
+	// driver can merge per-member distributions exactly (fixed buckets
+	// merge losslessly) instead of averaging pre-computed percentiles.
+	hist *Histogram
+}
+
+// Histogram returns the step's latency histogram over successful requests
+// (nil for results not produced by Run).
+func (r *StepResult) Histogram() *Histogram { return r.hist }
+
+// maxStatsTimeout bounds each /v2/stats fetch around a step. The stats
+// endpoint answers in microseconds when healthy; a member that vanished or
+// hung mid-step (the exact situation a cluster sweep with fault injection
+// creates) must cost the step a bounded wait, not hang it forever.
+const maxStatsTimeout = 5 * time.Second
+
+// statsDeadline derives the stats-fetch timeout from the step's request
+// timeout, capped at maxStatsTimeout.
+func statsDeadline(timeout time.Duration) time.Duration {
+	if timeout > 0 && timeout < maxStatsTimeout {
+		return timeout
+	}
+	return maxStatsTimeout
 }
 
 // Run offers one fixed-rate open-loop load step to the target and reports
@@ -221,9 +245,13 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 	var before serve.StatsV2
 	haveBefore := false
 	if !cfg.SkipServerStats {
-		if st, err := tgt.Stats(ctx); err == nil {
+		// Bounded: a target that accepts the connection and never answers
+		// (crashing member, stale cluster view) must not hang the step.
+		sctx, scancel := context.WithTimeout(ctx, statsDeadline(timeout))
+		if st, err := tgt.Stats(sctx); err == nil {
 			before, haveBefore = st, true
 		}
+		scancel()
 	}
 
 	var (
@@ -313,6 +341,7 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 		MeanMs:      hist.MeanMs(),
 		MaxMs:       hist.MaxMs(),
 		DurationSec: elapsed.Seconds(),
+		hist:        hist,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.AchievedRate = float64(res.Succeeded) / secs
@@ -321,9 +350,11 @@ func Run(ctx context.Context, tgt *Target, cfg RunConfig) (StepResult, error) {
 		res.ErrorRate = float64(res.Rejected+res.Errored+res.Dropped) / float64(offered)
 	}
 	if haveBefore {
-		if after, err := tgt.Stats(ctx); err == nil {
+		sctx, scancel := context.WithTimeout(ctx, statsDeadline(timeout))
+		if after, err := tgt.Stats(sctx); err == nil {
 			res.Server = deltaStats(before, after)
 		}
+		scancel()
 	}
 	if cfg.ObserveFeedback {
 		res.Observed, res.ObserveRejected = tgt.Observe(ctx, obs)

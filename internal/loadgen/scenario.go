@@ -54,6 +54,13 @@ type Request struct {
 	// requests carry one — a batch or graph round trip has no one kernel
 	// its latency belongs to.
 	Observe *serve.ObserveRequest
+	// Engine and GPU are the request's routing key — the same (engine,
+	// GPU) pair the cluster's membership ring hashes to assign a shard
+	// owner. The cluster driver uses them to send each request straight to
+	// the member that owns it. Engine is empty when the request relies on
+	// the server default.
+	Engine string
+	GPU    string
 }
 
 // Scenario is a finite pool of pre-encoded requests the driver cycles
@@ -146,10 +153,15 @@ func NewMix(cfg MixConfig) (*Scenario, error) {
 	if poolSize <= 0 {
 		poolSize = 512
 	}
-	for _, name := range cfg.GPUs {
-		if _, err := gpu.Lookup(name); err != nil {
+	// Canonical GPU names: the ring assignments the cluster driver matches
+	// requests against use gpu.Spec.Name, so the pool must too.
+	gpus := make([]string, len(cfg.GPUs))
+	for i, name := range cfg.GPUs {
+		g, err := gpu.Lookup(name)
+		if err != nil {
 			return nil, err
 		}
+		gpus[i] = g.Name
 	}
 	// Unique API-expressible kernel shapes across the model matrix,
 	// sorted for seed-stable pool construction.
@@ -181,7 +193,7 @@ func NewMix(cfg MixConfig) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sc := &Scenario{Name: fmt.Sprintf("mix(kernel=%g,batch=%g,graph=%g)", kw, bw, gw)}
 	for i := 0; i < poolSize; i++ {
-		gpuName := cfg.GPUs[rng.Intn(len(cfg.GPUs))]
+		gpuName := gpus[rng.Intn(len(gpus))]
 		var req Request
 		var body any
 		switch pick := rng.Float64() * (kw + bw + gw); {
@@ -218,6 +230,7 @@ func NewMix(cfg MixConfig) (*Scenario, error) {
 			return nil, fmt.Errorf("loadgen: encoding request %d: %w", i, err)
 		}
 		req.Body = enc
+		req.Engine, req.GPU = cfg.Engine, gpuName
 		sc.reqs = append(sc.reqs, req)
 	}
 	return sc, nil
@@ -266,7 +279,8 @@ func NewTraceReplay(path, engine string) (*Scenario, int, error) {
 			continue
 		}
 		sc.reqs = append(sc.reqs, Request{Kind: KindKernel, Path: "/v2/predict/kernel", Body: enc, Kernels: 1,
-			Observe: &serve.ObserveRequest{Kernel: kb, Engine: eng}})
+			Observe: &serve.ObserveRequest{Kernel: kb, Engine: eng},
+			Engine:  eng, GPU: e.GPU})
 	}
 	if err := scan.Err(); err != nil {
 		return nil, skipped, err

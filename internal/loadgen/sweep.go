@@ -140,6 +140,13 @@ type Report struct {
 
 	Sweep *SweepResult `json:"sweep,omitempty"`
 	Run   *StepResult  `json:"run,omitempty"`
+
+	// ClusterSweep and ClusterRun are the cluster-mode equivalents
+	// (`neusight loadgen -cluster`); scripts/bench.sh --cluster-sweep
+	// embeds a ClusterSweep report under the "cluster_sweep" key of
+	// BENCH_serve.json.
+	ClusterSweep *ClusterSweepResult `json:"cluster_sweep,omitempty"`
+	ClusterRun   *ClusterStepResult  `json:"cluster_run,omitempty"`
 }
 
 // ReportKind is the Report.Kind discriminator.

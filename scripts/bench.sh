@@ -10,6 +10,9 @@
 #   scripts/bench.sh --sweep         # additionally run the stepped SLO-knee
 #                                    # sweep (neusight loadgen) and embed the
 #                                    # result under the "sweep" key
+#   scripts/bench.sh --cluster-sweep # boot a 3-member in-process cluster and
+#                                    # embed its cluster-knee sweep under the
+#                                    # "cluster_sweep" key
 #   BENCH_OUT=path scripts/bench.sh  # write elsewhere
 #   BENCH_TIME=2s BENCH_COUNT=5 scripts/bench.sh  # heavier measurement
 #   SWEEP_SCHEDULE=100:100:4000 scripts/bench.sh --sweep  # custom schedule
@@ -17,14 +20,23 @@
 # The default benchtime is iteration-bounded (not wall-clock) so CI pays a
 # bounded cost; for real measurement on quiet hardware, raise BENCH_TIME.
 # The committed BENCH_serve.json is the repo's perf trajectory: regenerate
-# it with --sweep when a PR changes the serving or prediction hot paths.
+# it with --sweep --cluster-sweep when a PR changes the serving, cluster,
+# or prediction hot paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sweep=0
-if [[ "${1:-}" == "--sweep" ]]; then
-  sweep=1
-fi
+cluster_sweep=0
+for arg in "$@"; do
+  case "$arg" in
+    --sweep) sweep=1 ;;
+    --cluster-sweep) cluster_sweep=1 ;;
+    *) echo "bench.sh: unknown argument $arg (want --sweep and/or --cluster-sweep)" >&2; exit 2 ;;
+  esac
+done
+sweep_out=""
+cluster_out=""
+trap 'rm -f "${sweep_out:-}" "${cluster_out:-}"' EXIT
 
 out="${BENCH_OUT:-BENCH_serve.json}"
 count="${BENCH_COUNT:-3}"
@@ -96,7 +108,6 @@ if [[ "$sweep" == 1 ]]; then
   schedule="${SWEEP_SCHEDULE:-250:250:6000}"
   step_duration="${SWEEP_STEP_DURATION:-1s}"
   sweep_out=$(mktemp)
-  trap 'rm -f "$sweep_out"' EXIT
   echo "==> neusight loadgen -sweep $schedule (self-served roofline target)"
   go run ./cmd/neusight loadgen -self roofline -cache -1 -workers 2 \
     -mix "kernel=0.5,batch=0.3,graph=0.2" -models BERT-Large,GPT2-Large \
@@ -129,6 +140,61 @@ with open(sys.argv[1], "w") as f:
 print(f"bench.sh: knee at {knee['offered_rate']:.0f}/s "
       f"(p99 {knee['p99_ms']:.3f} ms, errors {knee['error_rate']:.4f}) "
       f"over {len(sweep['steps'])} steps")
+EOF
+fi
+
+# --cluster-sweep: boot a 3-member in-process cluster (one command, no
+# process management), walk the same offered-rate ladder across it, and
+# embed the loadgen report under doc["cluster_sweep"]. The knee here is a
+# cluster-level capacity claim: members discover each other over the real
+# /v2/cluster control plane and the stream splits by shard ownership, so
+# the number moves when membership, steering, or failover change — not
+# just when the serving hot path does.
+if [[ "$cluster_sweep" == 1 ]]; then
+  cschedule="${CLUSTER_SWEEP_SCHEDULE:-250:250:6000}"
+  cstep_duration="${CLUSTER_SWEEP_STEP_DURATION:-1s}"
+  cluster_out=$(mktemp)
+  echo "==> neusight loadgen -self-cluster 3 -sweep $cschedule (3-member local cluster)"
+  go run ./cmd/neusight loadgen -self roofline -self-cluster 3 -cache -1 -workers 2 \
+    -mix "kernel=0.5,batch=0.3,graph=0.2" -models BERT-Large,GPT2-Large \
+    -gpus H100,V100,A100-40GB,P100 -seed 7 \
+    -sweep "$cschedule" -step-duration "$cstep_duration" \
+    -slo-p99 20 -slo-errors 0.02 -out "$cluster_out"
+
+  python3 - "$out" "$cluster_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+if report.get("kind") != "neusight-loadgen":
+    raise SystemExit(f"bench.sh: cluster sweep report has kind {report.get('kind')!r}")
+sweep = report.get("cluster_sweep") or {}
+if not sweep.get("steps"):
+    raise SystemExit("bench.sh: cluster sweep ran no steps")
+knee = sweep.get("knee")
+if not knee:
+    raise SystemExit("bench.sh: cluster sweep found no knee — the first step "
+                     "already breached; lower CLUSTER_SWEEP_SCHEDULE's start")
+for key in ("offered_rate", "p50_ms", "p99_ms", "p999_ms", "error_rate"):
+    if key not in knee:
+        raise SystemExit(f"bench.sh: cluster knee is missing {key}")
+if not any(s.get("members") for s in sweep["steps"]):
+    raise SystemExit("bench.sh: cluster sweep has no per-member breakdown")
+doc["cluster_sweep"] = report
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+line = (f"bench.sh: cluster knee at {knee['offered_rate']:.0f}/s "
+        f"(p99 {knee['p99_ms']:.3f} ms, errors {knee['error_rate']:.4f}) "
+        f"over {len(sweep['steps'])} steps")
+single = ((doc.get("sweep") or {}).get("sweep") or {}).get("knee")
+if single:
+    line += f"; single-node knee {single['offered_rate']:.0f}/s"
+    if knee["offered_rate"] < single["offered_rate"]:
+        print("bench.sh: WARNING: cluster knee below single-node knee — "
+              "noisy host or a steering regression", file=sys.stderr)
+print(line)
 EOF
 fi
 

@@ -90,7 +90,8 @@ go test -run '^$' -bench 'Serve|ShardedThroughput' -benchtime=1x . >/dev/null
 # measuring anything. scripts/bench.sh --sweep is the real measurement.
 echo "==> loadgen smoke sweep"
 smoke_out=$(mktemp)
-trap 'rm -f "$smoke_out"' EXIT
+cluster_smoke_out=$(mktemp)
+trap 'rm -f "$smoke_out" "$cluster_smoke_out"' EXIT
 go run ./cmd/neusight loadgen -self roofline -sweep 100:100:200 \
   -step-duration 300ms -slo-errors 0.5 -seed 7 -out "$smoke_out" 2>/dev/null
 python3 - "$smoke_out" <<'EOF'
@@ -101,6 +102,27 @@ if report.get("kind") != "neusight-loadgen":
 steps = (report.get("sweep") or {}).get("steps") or []
 if not steps or not any(s.get("succeeded", 0) > 0 for s in steps):
     raise SystemExit("check.sh: smoke sweep served no successful requests")
+EOF
+
+# Cluster-sweep smoke: two short steps fanned across an in-process
+# 2-member cluster — exercises ring discovery, the load split, per-member
+# aggregation, and the merged report in about a second. scripts/bench.sh
+# --cluster-sweep is the real measurement.
+echo "==> loadgen cluster-sweep smoke (2-member in-process cluster)"
+go run ./cmd/neusight loadgen -self roofline -self-cluster 2 -sweep 100:100:200 \
+  -step-duration 250ms -cooldown 100ms -slo-errors 0.5 -seed 7 \
+  -out "$cluster_smoke_out" 2>/dev/null
+python3 - "$cluster_smoke_out" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+sweep = report.get("cluster_sweep") or {}
+steps = sweep.get("steps") or []
+if not steps or not any(s.get("succeeded", 0) > 0 for s in steps):
+    raise SystemExit("check.sh: cluster smoke sweep served no successful requests")
+if not sweep.get("knee"):
+    raise SystemExit("check.sh: cluster smoke sweep found no knee under a 0.5 error SLO")
+if not any((s.get("members") or []) for s in steps):
+    raise SystemExit("check.sh: cluster smoke sweep has no per-member breakdown")
 EOF
 
 echo "OK"
