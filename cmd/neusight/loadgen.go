@@ -18,6 +18,7 @@ import (
 	"neusight/internal/cluster"
 	"neusight/internal/gpusim"
 	"neusight/internal/loadgen"
+	"neusight/internal/plan"
 	"neusight/internal/predict"
 	"neusight/internal/serve"
 )
@@ -443,6 +444,7 @@ func startSelfCluster(mode string, n int, steer string, cfg serve.Config) (func(
 		addr string
 		node *cluster.Node
 		srv  *http.Server
+		pm   *plan.Manager
 	}
 	members := make([]*member, 0, n)
 	closeAll := func() {
@@ -478,9 +480,21 @@ func startSelfCluster(mode string, n int, steer string, cfg serve.Config) (func(
 			closeAll()
 			return nil, nil, nil, err
 		}
+		// Every member gets an in-memory planner wired to the cluster's
+		// fan-out hook, so a /v2/plan submitted to any member spreads its
+		// configuration batches across all of them (scripts/plan_e2e.sh and
+		// the --plan-sweep benchmark target this).
+		pm, err := plan.NewManager("", planResolver(reg, def), plan.Options{})
+		if err != nil {
+			ln.Close()
+			closeAll()
+			return nil, nil, nil, err
+		}
+		pm.SetDispatcher(node.PlanDispatcher())
+		svc.SetPlanner(pm)
 		srv := &http.Server{Handler: node.Handler(serve.NewHandler(svc)), ReadHeaderTimeout: 10 * time.Second}
 		go srv.Serve(ln)
-		members = append(members, &member{addr: ln.Addr().String(), node: node, srv: srv})
+		members = append(members, &member{addr: ln.Addr().String(), node: node, srv: srv, pm: pm})
 	}
 	for i, m := range members {
 		peers := make([]string, 0, n-1)
@@ -502,6 +516,7 @@ func startSelfCluster(mode string, n int, steer string, cfg serve.Config) (func(
 		var once sync.Once
 		kills[m.addr] = func() {
 			once.Do(func() {
+				m.pm.Close()
 				m.node.Stop()
 				m.srv.Close()
 			})
@@ -625,11 +640,16 @@ func startSelfTarget(mode string, cfg serve.Config) (stop func(), baseURL string
 		return nil, "", fmt.Errorf("loadgen: unknown -self mode %q (want roofline or quick)", mode)
 	}
 	svc := serve.NewMulti(reg, def, cfg)
+	pm, err := plan.NewManager("", planResolver(reg, def), plan.Options{})
+	if err != nil {
+		return nil, "", err
+	}
+	svc.SetPlanner(pm)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: serve.NewHandler(svc), ReadHeaderTimeout: 10 * time.Second}
 	go srv.Serve(ln)
-	return func() { srv.Close() }, "http://" + ln.Addr().String(), nil
+	return func() { pm.Close(); srv.Close() }, "http://" + ln.Addr().String(), nil
 }

@@ -25,6 +25,9 @@
 //	                 [-arrival poisson|bursty -burst-on 20ms -burst-off 80ms]
 //	                 [-mix kernel=0.7,batch=0.2,graph=0.1 -models BERT-Large -gpus H100,V100]
 //	                 [-trace trace.jsonl] [-slo-p99 50 -slo-errors 0.01] [-out report.json]
+//	neusight plan    (-target http://host:8080 | -self roofline [-self-cluster 3]) \
+//	                 -model GPT3-XL -gpus A100-80GB,H100 -traffic 500 [-training]
+//	                 [-poll id | -cancel id | -resume id] [-out plan.json]
 //
 // "quick" trains a reduced predictor in-process (no files needed) — the
 // fastest way to get a forecast. "serve" exposes the engine registry as a
@@ -40,7 +43,11 @@
 // drives a service
 // (or one it boots in-process via -self) with open-loop Poisson or bursty
 // traffic and, in -sweep mode, walks the offered rate up until an SLO
-// breach to report the knee — the node's sustainable capacity.
+// breach to report the knee — the node's sustainable capacity. "plan"
+// submits a what-if capacity sweep to a service's /v2/plan API — every
+// (GPU, parallelism strategy, fleet size) candidate priced through the
+// prediction stack and ranked by throughput-per-cost — and polls the
+// resumable async job to completion.
 package main
 
 import (
@@ -66,6 +73,7 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/models"
 	"neusight/internal/observe"
+	"neusight/internal/plan"
 	"neusight/internal/predict"
 	"neusight/internal/report"
 	"neusight/internal/serve"
@@ -95,6 +103,8 @@ func main() {
 		err = serveCmd(os.Args[2:])
 	case "loadgen":
 		err = loadgenCmd(os.Args[2:])
+	case "plan":
+		err = planCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -119,7 +129,8 @@ commands:
   predict       forecast a workload with a saved predictor (-engine picks another engine)
   quick         train a reduced predictor in-process and forecast
   serve         run the concurrent multi-engine HTTP prediction service
-  loadgen       offer open-loop load to a service and find its SLO knee`)
+  loadgen       offer open-loop load to a service and find its SLO knee
+  plan          submit/poll/cancel what-if capacity sweeps (/v2/plan) against a service or -self`)
 }
 
 func listGPUs() error {
@@ -423,6 +434,7 @@ func serveCmd(args []string) error {
 	driftThreshold := fs.Float64("drift-threshold", observe.DefaultThreshold, "rolling-MAPE level above which a retrainable engine recalibrates from observations (requires -observe)")
 	observeStore := fs.String("observe-store", "", "persist observations to this bounded JSONL store, replayed into drift windows on restart (requires -observe)")
 	observeCap := fs.Int("observe-cap", 0, fmt.Sprintf("observation store capacity in records, oldest evicted (0 = default %d; requires -observe-store)", observe.DefaultStoreCap))
+	planDir := fs.String("plan-dir", "", "persist /v2/plan job checkpoints to this directory so interrupted sweeps restore as resumable after a restart (default: in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -530,6 +542,19 @@ func serveCmd(args []string) error {
 		CacheSize: *cacheSize, Workers: *workers,
 		Shards: *shards, ShardQueue: *shardQueue,
 	})
+	planMgr, err := plan.NewManager(*planDir, planResolver(reg, defaultEngine), plan.Options{})
+	if err != nil {
+		return err
+	}
+	svc.SetPlanner(planMgr)
+	defer planMgr.Close()
+	if *planDir != "" {
+		restored := planMgr.List()
+		if len(restored) > 0 {
+			fmt.Printf("plan: %d checkpointed jobs restored from %s (cancelled ones resume via POST /v2/plan/{id})\n",
+				len(restored), *planDir)
+		}
+	}
 	if *observeFlag {
 		ocfg := observe.Config{Threshold: *driftThreshold}
 		if *observeStore != "" {
@@ -646,6 +671,7 @@ func serveCmd(args []string) error {
 			return err
 		}
 		node = n
+		planMgr.SetDispatcher(node.PlanDispatcher())
 		if *join != "" {
 			// Join before the listener opens: the seed hands back the
 			// membership and generation views, and the trace warmup below
@@ -689,6 +715,7 @@ func serveCmd(args []string) error {
 		strings.Join(reg.List(), " "), ln.Addr(), svc.DefaultEngine(), *cacheSize, layout)
 	fmt.Println("endpoints: POST /v2/predict/kernel|batch|graph (per-request \"engine\")  GET /v2/engines  GET /v2/stats")
 	fmt.Println("           POST /v1/predict/kernel|batch|graph (default engine)  GET /v1/healthz  GET /v1/stats  GET /metrics")
+	fmt.Println("           POST|GET /v2/plan (what-if capacity sweeps)  GET|POST|DELETE /v2/plan/{id} (poll, resume, cancel)")
 	if *observeFlag {
 		fmt.Println("           POST /v2/observe (measured latencies -> drift detection)")
 	}

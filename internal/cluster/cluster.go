@@ -198,6 +198,11 @@ type Node struct {
 	joinsAccepted atomic.Uint64
 	authRejected  atomic.Uint64
 
+	// planner fan-out counters: batches and cells evaluated here on
+	// behalf of a peer's plan job (POST /v2/cluster/plan/eval).
+	planEvalsServed atomic.Uint64
+	planEvalCells   atomic.Uint64
+
 	// steering counters
 	steered       atomic.Uint64
 	redirected    atomic.Uint64

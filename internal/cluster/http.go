@@ -34,6 +34,8 @@ const (
 	// recorded workload trace (JSONL), which joining members replay to
 	// warm the shards they acquire.
 	RouteTrace = "/v2/cluster/trace"
+	// RoutePlanEval (plan.go) is the planner fan-out endpoint: POST
+	// evaluates a batch of plan configurations on this member.
 )
 
 // clusterRoutePrefix gates which paths require the control-plane token.
@@ -221,6 +223,8 @@ func (n *Node) serveControl(w http.ResponseWriter, r *http.Request) {
 		n.handleJoin(w, r)
 	case RouteTrace:
 		n.handleTrace(w, r)
+	case RoutePlanEval:
+		n.handlePlanEval(w, r)
 	default:
 		writeJSONError(w, http.StatusNotFound, "unknown cluster route")
 	}

@@ -55,6 +55,8 @@ func (n *Node) WriteMetrics(w io.Writer) error {
 		{"neusight_cluster_gossip_absorbed_total", "Peer generation views absorbed (pushes received plus poll replies).", "counter", float64(gs.Absorbed)},
 		{"neusight_cluster_invalidations_total", "Engines whose cached forecasts were dropped on a newer peer generation.", "counter", float64(gs.Invalidations)},
 		{"neusight_cluster_invalidated_entries_total", "Cache entries dropped by cluster generation invalidations.", "counter", float64(gs.DroppedEntries)},
+		{"neusight_cluster_plan_evals_total", "Plan configuration batches evaluated here for a peer's plan job.", "counter", float64(n.planEvalsServed.Load())},
+		{"neusight_cluster_plan_eval_cells_total", "Plan configurations evaluated here for a peer's plan job.", "counter", float64(n.planEvalCells.Load())},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
 			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {

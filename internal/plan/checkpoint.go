@@ -1,0 +1,208 @@
+package plan
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A plan job's checkpoint is an append-only JSONL file, one per job
+// (<dir>/<id>.jsonl), mirroring the observe store's crash-safety
+// discipline: every line is flushed through before the write reports
+// success, damaged lines are skipped at read time rather than voiding
+// the file, and the first write error poisons the checkpoint permanently.
+// Unlike the observe store the log needs no cap or compaction — a job's
+// matrix is bounded by MaxMatrix, and each cell writes exactly one line.
+//
+// Line framing: the first line is a header carrying the job id and its
+// normalized spec; each evaluated cell appends one result line; a
+// terminal line seals the file with the job's final state. A file with
+// no terminal line is a job that was running when the process died —
+// exactly the jobs Resume picks up.
+type checkpointLine struct {
+	// Header line.
+	Plan string `json:"plan,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"`
+	// Result line.
+	Result *Result `json:"result,omitempty"`
+	// Terminal line.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// checkpointExt names job checkpoint files under the manager's directory.
+const checkpointExt = ".jsonl"
+
+// Checkpoint is one job's open on-disk log.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	err  error // first write error; records stop permanently
+}
+
+// createCheckpoint starts a fresh checkpoint for job id, writing the
+// header line through to disk before returning — a submitted job is a
+// resumable job from its first instant.
+func createCheckpoint(dir, id string, spec Spec) (*Checkpoint, error) {
+	path := filepath.Join(dir, id+checkpointExt)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plan: create checkpoint: %w", err)
+	}
+	c := &Checkpoint{path: path, f: f, bw: bufio.NewWriter(f)}
+	if err := c.write(checkpointLine{Plan: id, Spec: &spec}); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return c, nil
+}
+
+// write marshals one line and flushes it through to the file.
+func (c *Checkpoint) write(line checkpointLine) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	b, err := json.Marshal(line)
+	if err == nil {
+		_, err = c.bw.Write(append(b, '\n'))
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.err = err
+	}
+	return err
+}
+
+// Record persists one evaluated cell.
+func (c *Checkpoint) Record(r Result) error {
+	return c.write(checkpointLine{Result: &r})
+}
+
+// Seal writes the terminal state line and closes the file. A sealed
+// "done" checkpoint is a completed job; a sealed "cancelled" one is
+// resumable by re-submission of the unevaluated cells.
+func (c *Checkpoint) Seal(state, errMsg string) error {
+	werr := c.write(checkpointLine{State: state, Error: errMsg})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
+}
+
+// reopenCheckpoint reopens a sealed checkpoint for append: new result
+// lines and a fresh terminal line follow the old ones, and replay takes
+// the last terminal state, so resume needs no rewrite.
+func reopenCheckpoint(dir, id string) (*Checkpoint, error) {
+	path := filepath.Join(dir, id+checkpointExt)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plan: reopen checkpoint: %w", err)
+	}
+	return &Checkpoint{path: path, f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Snapshot is the replayable content of one checkpoint file.
+type Snapshot struct {
+	ID      string
+	Spec    Spec
+	Results []Result // deduped by cell index, last write wins
+	State   string   // terminal state, or "" when the job died mid-run
+	Error   string
+	Skipped int // damaged lines dropped
+}
+
+// readSnapshot replays one checkpoint file with the observe store's
+// damage tolerance: corrupt, truncated, or overlong lines are skipped and
+// counted; result lines arriving before the header or after a terminal
+// line still count (a crash can interleave nothing — but a partially
+// written header must not void the results that follow it on resume of a
+// rewritten file).
+func readSnapshot(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("plan: read checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	snap := Snapshot{ID: strings.TrimSuffix(filepath.Base(path), checkpointExt)}
+	byIndex := map[int]Result{}
+	br := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, isPrefix, readErr := br.ReadLine()
+		if readErr != nil {
+			if readErr != io.EOF {
+				snap.Skipped++
+			}
+			break
+		}
+		if isPrefix {
+			snap.Skipped++
+			for isPrefix && readErr == nil {
+				_, isPrefix, readErr = br.ReadLine()
+			}
+			if readErr != nil {
+				break
+			}
+			continue
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointLine
+		if json.Unmarshal(line, &rec) != nil {
+			snap.Skipped++
+			continue
+		}
+		switch {
+		case rec.Spec != nil:
+			snap.Spec = *rec.Spec
+		case rec.Result != nil:
+			byIndex[rec.Result.Index] = *rec.Result
+		case rec.State != "":
+			snap.State, snap.Error = rec.State, rec.Error
+		default:
+			snap.Skipped++
+		}
+	}
+	idxs := make([]int, 0, len(byIndex))
+	for i := range byIndex {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		snap.Results = append(snap.Results, byIndex[i])
+	}
+	return snap, nil
+}
+
+// loadSnapshots replays every checkpoint under dir, oldest path first.
+// Unreadable files are skipped — a restart must come up even over a
+// damaged checkpoint directory.
+func loadSnapshots(dir string) []Snapshot {
+	paths, _ := filepath.Glob(filepath.Join(dir, "*"+checkpointExt))
+	sort.Strings(paths)
+	var snaps []Snapshot
+	for _, p := range paths {
+		snap, err := readSnapshot(p)
+		if err != nil || snap.ID == "" {
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}

@@ -1,0 +1,395 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"neusight/internal/predict"
+)
+
+// slowEngine delays every batch so lifecycle tests can observe a job
+// mid-matrix deterministically.
+type slowEngine struct {
+	predict.Engine
+	delay time.Duration
+}
+
+func (s slowEngine) PredictKernels(ctx context.Context, reqs []predict.Request) []predict.Outcome {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+	}
+	return s.Engine.PredictKernels(ctx, reqs)
+}
+
+func rooflineResolver(delay time.Duration) func(string) (predict.Engine, error) {
+	eng := predict.NewRooflineEngine()
+	return func(name string) (predict.Engine, error) {
+		if name != "" && name != eng.Name() {
+			return nil, predict.ErrUnknownEngine
+		}
+		if delay > 0 {
+			return slowEngine{Engine: eng, delay: delay}, nil
+		}
+		return eng, nil
+	}
+}
+
+func smallSpec() Spec {
+	return Spec{
+		Model: "BERT-Large", GPUs: []string{"T4"},
+		Strategies: []string{StrategyDP}, FleetSizes: []int{1, 2}, Seed: 7,
+	}
+}
+
+// waitTerminal polls id until it leaves running.
+func waitTerminal(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Get(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running: %d/%d", id, st.Evaluated, st.Total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitCompletesAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || st.Total != 2 {
+		t.Fatalf("birth status %+v, want running with 2 cells", st)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone || final.Evaluated != 2 || len(final.Ranking) != 2 {
+		t.Fatalf("final %+v, want done with both cells ranked", final)
+	}
+	snap, err := readSnapshot(filepath.Join(dir, st.ID+checkpointExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || len(snap.Results) != 2 || snap.Skipped != 0 {
+		t.Fatalf("checkpoint %+v, want sealed done with 2 cells", snap)
+	}
+	stats := m.Stats()
+	if stats.Completed != 1 || stats.ConfigsEvaluated != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	m, err := NewManager("", rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestUnknownEngineFailsJob(t *testing.T) {
+	m, err := NewManager("", rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	s.Engine = "no-such-engine"
+	st, err := m.Submit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateFailed || final.Error == "" {
+		t.Fatalf("final %+v, want failed with the resolve error", final)
+	}
+}
+
+func TestUnknownJobAndResumeDone(t *testing.T) {
+	m, err := NewManager("", rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("nope", false); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("Get unknown = %v, want ErrNoJob", err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("Cancel unknown = %v, want ErrNoJob", err)
+	}
+	st, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	if _, err := m.Resume(st.ID); !errors.Is(err, ErrJobDone) {
+		t.Fatalf("Resume done = %v, want ErrJobDone", err)
+	}
+}
+
+// TestCancelMidMatrixResumes is the resumable-checkpoint satellite: a
+// cancel that lands mid-matrix seals a checkpoint holding only the
+// evaluated cells, and a resume finishes exactly the pending ones.
+func TestCancelMidMatrixResumes(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, rooflineResolver(20*time.Millisecond), Options{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	s.Strategies = []string{StrategyDP, StrategyTP, StrategyPP}
+	s.FleetSizes = []int{1, 2, 4, 8}
+	st, err := m.Submit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.Total
+
+	// Wait for some progress, then cancel mid-matrix.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := m.Get(st.ID, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Evaluated >= 2 {
+			break
+		}
+		if cur.State != StateRunning || time.Now().After(deadline) {
+			t.Fatalf("no mid-matrix window: %+v", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	cancelled := waitTerminal(t, m, st.ID)
+	if cancelled.State != StateCancelled {
+		t.Fatalf("state %q after cancel, want cancelled", cancelled.State)
+	}
+	if cancelled.Evaluated == 0 || cancelled.Evaluated >= total {
+		t.Fatalf("cancel landed outside the matrix: %d/%d", cancelled.Evaluated, total)
+	}
+	snap, err := readSnapshot(filepath.Join(dir, st.ID+checkpointExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled || len(snap.Results) != cancelled.Evaluated {
+		t.Fatalf("checkpoint %q with %d cells, want cancelled with %d", snap.State, len(snap.Results), cancelled.Evaluated)
+	}
+
+	// Resume completes every pending cell, exactly once each.
+	if _, err := m.Resume(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone || final.Evaluated != total {
+		t.Fatalf("resumed final %+v, want done with all %d cells", final, total)
+	}
+	snap, err = readSnapshot(filepath.Join(dir, st.ID+checkpointExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || len(snap.Results) != total {
+		t.Fatalf("resumed checkpoint %q with %d cells, want done with %d", snap.State, len(snap.Results), total)
+	}
+	seen := map[int]bool{}
+	for _, r := range snap.Results {
+		if seen[r.Index] {
+			t.Fatalf("cell %d checkpointed twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}
+
+// TestCrashRestore replays a checkpoint with no terminal line — a job
+// that was running when its process died — into a fresh manager: it must
+// come back cancelled-and-resumable with the evaluated cells intact.
+func TestCrashRestore(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSpec()
+	s.FleetSizes = []int{1, 2, 4}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := createCheckpoint(dir, "deadbeef00000001", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := predict.NewRooflineEngine()
+	cfgs := Expand(s)
+	for _, cfg := range cfgs[:2] {
+		res, err := Evaluate(context.Background(), eng, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Record(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Seal: the process "died" here.
+
+	m, err := NewManager(dir, rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Get("deadbeef00000001", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled || st.Evaluated != 2 || st.Error == "" {
+		t.Fatalf("restored %+v, want cancelled with 2 cells and the interrupted marker", st)
+	}
+	if _, err := m.Resume(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone || final.Evaluated != len(cfgs) {
+		t.Fatalf("resumed crash job %+v, want done with %d cells", final, len(cfgs))
+	}
+}
+
+// flakyDispatcher assigns half the cells to a fake remote and fails every
+// remote batch — forcing the re-dispatch path — while counting how many
+// cells it was ever asked to evaluate remotely.
+type flakyDispatcher struct {
+	mu       sync.Mutex
+	assigned int
+}
+
+func (d *flakyDispatcher) Assign(engine string, cfg Config) string {
+	if cfg.Index%2 == 0 {
+		return "10.0.0.1:9"
+	}
+	return ""
+}
+
+func (d *flakyDispatcher) EvalRemote(ctx context.Context, addr, engine string, spec Spec, cfgs []Config) ([]Result, error) {
+	d.mu.Lock()
+	d.assigned += len(cfgs)
+	d.mu.Unlock()
+	return nil, errors.New("owner unreachable")
+}
+
+func TestRemoteFailureRedispatchesLocally(t *testing.T) {
+	m, err := NewManager("", rooflineResolver(0), Options{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &flakyDispatcher{}
+	m.SetDispatcher(d)
+	s := smallSpec()
+	s.FleetSizes = []int{1, 2, 4, 8}
+	st, err := m.Submit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone || final.Evaluated != final.Total {
+		t.Fatalf("final %+v, want done despite every remote batch failing", final)
+	}
+	if final.RedispatchedBatches == 0 {
+		t.Fatal("no batch was re-dispatched")
+	}
+	if final.RemoteCells != 0 {
+		t.Fatalf("%d cells credited remote, but every remote batch failed", final.RemoteCells)
+	}
+	stats := m.Stats()
+	if stats.RemoteFailures == 0 || stats.RedispatchedBatches != stats.RemoteFailures {
+		t.Fatalf("stats %+v, want every remote failure re-dispatched", stats)
+	}
+}
+
+// TestRecordDeduplicates covers the slow-remote-answer-races-redispatch
+// hazard directly: the same cell recorded twice counts once.
+func TestRecordDeduplicates(t *testing.T) {
+	m, err := NewManager("", rooflineResolver(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{id: "x", results: map[int]Result{}, configs: make([]Config, 2)}
+	r := Result{Config: Config{Index: 1, GPU: "T4", Strategy: StrategyDP, Fleet: 1}}
+	m.record(j, true, []Result{r})
+	m.record(j, false, []Result{r})
+	if len(j.results) != 1 || m.evaluated.Load() != 1 || j.remoteCells != 1 {
+		t.Fatalf("dedup failed: %d results, %d evaluated, %d remote", len(j.results), m.evaluated.Load(), j.remoteCells)
+	}
+}
+
+// TestRacedLifecycle hammers submit/poll/cancel/resume concurrently; run
+// under -race this is the raced job lifecycle satellite. Invariants: no
+// panic, and every job ends terminal with evaluated <= total.
+func TestRacedLifecycle(t *testing.T) {
+	m, err := NewManager(t.TempDir(), rooflineResolver(2*time.Millisecond), Options{Workers: 2, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	s.FleetSizes = []int{1, 2, 4}
+	ids := make([]string, 3)
+	for i := range ids {
+		st, err := m.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(id string, w int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					switch w {
+					case 0:
+						m.Get(id, i%2 == 0)
+					case 1:
+						if i == 10 {
+							m.Cancel(id)
+						} else {
+							m.List()
+						}
+					case 2:
+						m.Stats()
+						m.Resume(id) // racing resume: may be running/done, both fine
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}(id, w)
+		}
+	}
+	wg.Wait()
+	for _, id := range ids {
+		// Whatever the interleaving, the job must settle terminal; resume
+		// any cancelled leftovers to completion to prove the checkpoint kept
+		// every cell.
+		st := waitTerminal(t, m, id)
+		for st.State == StateCancelled {
+			if _, err := m.Resume(id); err != nil {
+				t.Fatal(err)
+			}
+			st = waitTerminal(t, m, id)
+		}
+		if st.State != StateDone || st.Evaluated != st.Total {
+			t.Fatalf("job %s settled %+v, want done with all cells", id, st)
+		}
+	}
+	m.Close()
+}

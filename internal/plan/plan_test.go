@@ -1,0 +1,271 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"neusight/internal/core"
+	"neusight/internal/distributed"
+	"neusight/internal/gpu"
+	"neusight/internal/kernels"
+	"neusight/internal/models"
+	"neusight/internal/predict"
+)
+
+func mustModel(t *testing.T, name string) models.Config {
+	t.Helper()
+	mc, err := models.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func validSpec() Spec {
+	return Spec{Model: "BERT-Large", GPUs: []string{"T4", "A100-80GB"}}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := validSpec()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Strategies) != 3 {
+		t.Fatalf("strategies %v, want the three defaults", s.Strategies)
+	}
+	if len(s.FleetSizes) != 3 || s.FleetSizes[0] != 1 {
+		t.Fatalf("fleets %v, want [1 2 4]", s.FleetSizes)
+	}
+	if s.GPUsPerServer != DefaultGPUsPerServer || s.GlobalBatch != DefaultGlobalBatch || s.MicroBatches != DefaultMicroBatches {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	// Normalize is idempotent: the remote-eval handler re-normalizes the
+	// already-normalized spec it receives.
+	before := s
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.GlobalBatch != before.GlobalBatch || len(s.Strategies) != len(before.Strategies) {
+		t.Fatalf("re-normalize changed the spec: %+v -> %+v", before, s)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no model", func(s *Spec) { s.Model = "" }, "no model"},
+		{"unknown model", func(s *Spec) { s.Model = "nope" }, "unknown"},
+		{"no gpus", func(s *Spec) { s.GPUs = nil }, "no candidate"},
+		{"unknown gpu", func(s *Spec) { s.GPUs = []string{"RTX-9090"} }, "unknown"},
+		{"duplicate gpu", func(s *Spec) { s.GPUs = []string{"T4", "T4"} }, "duplicate"},
+		{"bad strategy", func(s *Spec) { s.Strategies = []string{"zz"} }, "unknown strategy"},
+		{"duplicate strategy", func(s *Spec) { s.Strategies = []string{"dp", "DP"} }, "duplicate strategy"},
+		{"fleet zero", func(s *Spec) { s.FleetSizes = []int{0} }, "out of range"},
+		{"duplicate fleet", func(s *Spec) { s.FleetSizes = []int{2, 2} }, "duplicate fleet"},
+		{"one gpu per server", func(s *Spec) { s.GPUsPerServer = 1 }, "out of range"},
+		{"negative traffic", func(s *Spec) { s.TrafficRPS = -1 }, ">= 0"},
+		{"bad micro batches", func(s *Spec) { s.GlobalBatch = 4; s.MicroBatches = 8 }, "micro_batches"},
+		{"matrix too big", func(s *Spec) {
+			s.FleetSizes = make([]int, 0, 700)
+			for i := 1; i <= 700; i++ {
+				s.FleetSizes = append(s.FleetSizes, i)
+			}
+		}, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Normalize()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Normalize() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpandStableIndexes(t *testing.T) {
+	s := validSpec()
+	s.Seed = 7
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cfgs := Expand(s)
+	want := len(s.GPUs) * len(s.Strategies) * len(s.FleetSizes)
+	if len(cfgs) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cfgs), want)
+	}
+	// Indexes are a permutation, and index -> cell identity is seed-stable:
+	// the same index names the same (GPU, strategy, fleet) under any seed,
+	// which is what re-dispatch and resume rely on.
+	byIndex := map[int]string{}
+	for _, c := range cfgs {
+		if _, dup := byIndex[c.Index]; dup {
+			t.Fatalf("duplicate index %d", c.Index)
+		}
+		byIndex[c.Index] = c.Key()
+	}
+	s2 := s
+	s2.Seed = 99
+	for _, c := range Expand(s2) {
+		if byIndex[c.Index] != c.Key() {
+			t.Fatalf("index %d maps to %s under seed 99, %s under seed 7", c.Index, c.Key(), byIndex[c.Index])
+		}
+	}
+	// Same seed, same order.
+	again := Expand(s)
+	for i := range cfgs {
+		if cfgs[i] != again[i] {
+			t.Fatalf("seed 7 expansion not reproducible at %d: %+v vs %+v", i, cfgs[i], again[i])
+		}
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	results := []Result{
+		{Config: Config{Index: 0, GPU: "T4", Strategy: "dp", Fleet: 1}, ThroughputPerCost: 5, MeetsTraffic: false},
+		{Config: Config{Index: 1, GPU: "H100", Strategy: "dp", Fleet: 1}, ThroughputPerCost: 2, MeetsTraffic: true},
+		{Config: Config{Index: 2, GPU: "L4", Strategy: "tp", Fleet: 1}, Error: "boom"},
+		{Config: Config{Index: 3, GPU: "A100-80GB", Strategy: "dp", Fleet: 1}, ThroughputPerCost: 9, MeetsTraffic: true},
+	}
+	ranked := Rank(results)
+	wantOrder := []int{3, 1, 0, 2} // meets-traffic by rps/$ first, then misses, errors last
+	for i, want := range wantOrder {
+		if ranked[i].Index != want {
+			t.Fatalf("rank[%d] = cell %d, want %d (full: %+v)", i, ranked[i].Index, want, ranked)
+		}
+	}
+	if results[0].Index != 0 {
+		t.Fatal("Rank mutated its input")
+	}
+}
+
+// TestEvaluateAgreesWithDirect is the plan-vs-direct agreement check: a
+// cell priced through Evaluate's memoized two-pass batch path must land
+// on exactly the forecast the distributed layer produces when each kernel
+// is priced directly against the engine — same fallback rule included.
+func TestEvaluateAgreesWithDirect(t *testing.T) {
+	eng := predict.NewRooflineEngine()
+	s := validSpec()
+	s.GPUs = []string{"A100-80GB"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strat := range []string{StrategyDP, StrategyTP, StrategyPP} {
+		cfg := Config{GPU: "A100-80GB", Strategy: strat, Fleet: 1}
+		res, err := Evaluate(ctx, eng, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if res.Error != "" {
+			t.Fatalf("%s: cell error %q", strat, res.Error)
+		}
+
+		g := gpu.MustLookup(cfg.GPU)
+		direct := func(k kernels.Kernel) float64 {
+			if k.Category() == kernels.CatNetwork {
+				return 0
+			}
+			outs := eng.PredictKernels(ctx, []predict.Request{{Kernel: k, GPU: g}})
+			if outs[0].Err != nil {
+				return core.MemBoundLatency(k, g)
+			}
+			return outs[0].Result.Latency
+		}
+		dstrat, err := strategyOf(strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := mustModel(t, s.Model)
+		f, err := distributed.Estimate(distributed.Plan{
+			Model: mc, GlobalBatch: s.GlobalBatch, Server: serverFor(g, s.GPUsPerServer),
+			Strategy: dstrat, Training: s.Training, MicroBatches: s.MicroBatches,
+		}, direct, linkModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IterationMs != f.TotalMs || res.ComputeMs != f.ComputeMs || res.NetworkMs != f.NetworkMs {
+			t.Fatalf("%s: Evaluate (%v, %v, %v) != direct (%v, %v, %v)",
+				strat, res.IterationMs, res.ComputeMs, res.NetworkMs, f.TotalMs, f.ComputeMs, f.NetworkMs)
+		}
+		if res.ThroughputRPS <= 0 || res.CostPerHour <= 0 || res.ThroughputPerCost <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", strat, res)
+		}
+	}
+}
+
+func TestEvaluateTrainingFleetAddsInterNode(t *testing.T) {
+	eng := predict.NewRooflineEngine()
+	s := validSpec()
+	s.GPUs = []string{"A100-80GB"}
+	s.Training = true
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	one, err := Evaluate(context.Background(), eng, s, Config{GPU: "A100-80GB", Strategy: StrategyDP, Fleet: 1})
+	if err != nil || one.Error != "" {
+		t.Fatalf("fleet 1: %v %q", err, one.Error)
+	}
+	four, err := Evaluate(context.Background(), eng, s, Config{GPU: "A100-80GB", Strategy: StrategyDP, Fleet: 4})
+	if err != nil || four.Error != "" {
+		t.Fatalf("fleet 4: %v %q", err, four.Error)
+	}
+	if four.IterationMs <= one.IterationMs || four.NetworkMs <= one.NetworkMs {
+		t.Fatalf("fleet 4 iteration %v/network %v not above fleet 1 %v/%v — inter-node all-reduce missing",
+			four.IterationMs, four.NetworkMs, one.IterationMs, one.NetworkMs)
+	}
+	// Inference fleets scale embarrassingly: no inter-node term.
+	s.Training = false
+	infOne, _ := Evaluate(context.Background(), eng, s, Config{GPU: "A100-80GB", Strategy: StrategyDP, Fleet: 1})
+	infFour, _ := Evaluate(context.Background(), eng, s, Config{GPU: "A100-80GB", Strategy: StrategyDP, Fleet: 4})
+	if infFour.IterationMs != infOne.IterationMs {
+		t.Fatalf("inference iteration changed with fleet size: %v vs %v", infFour.IterationMs, infOne.IterationMs)
+	}
+	if infFour.ThroughputRPS != 4*infOne.ThroughputRPS {
+		t.Fatalf("inference throughput %v at fleet 4, want 4x %v", infFour.ThroughputRPS, infOne.ThroughputRPS)
+	}
+}
+
+func TestEvaluateCellProblemsAreNotErrors(t *testing.T) {
+	eng := predict.NewRooflineEngine()
+	s := validSpec()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown GPU in the cell (not the spec): recorded, unrankable.
+	res, err := Evaluate(context.Background(), eng, s, Config{GPU: "RTX-9090", Strategy: StrategyDP, Fleet: 1})
+	if err != nil {
+		t.Fatalf("cell problem surfaced as evaluation error: %v", err)
+	}
+	if res.Error == "" {
+		t.Fatal("unknown cell GPU produced no Result.Error")
+	}
+	// Cancellation is the one real error: the cell must stay pending.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, eng, s, Config{GPU: "T4", Strategy: StrategyDP, Fleet: 1}); err == nil {
+		t.Fatal("cancelled context did not abort evaluation")
+	}
+}
+
+func TestEvaluateBatchStopsAtCancellation(t *testing.T) {
+	eng := predict.NewRooflineEngine()
+	s := validSpec()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := EvaluateBatch(ctx, eng, s, Expand(s))
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	if len(out) != 0 {
+		t.Fatalf("cancelled-before-start batch returned %d results, want 0", len(out))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"neusight/internal/kernels"
 	"neusight/internal/models"
 	"neusight/internal/observe"
+	"neusight/internal/plan"
 	"neusight/internal/predict"
 )
 
@@ -288,6 +289,7 @@ type StatsV2 struct {
 	Warmup          *WarmupStats     `json:"warmup,omitempty"`
 	TraceCompaction *TraceCompaction `json:"trace_compaction,omitempty"`
 	Observe         *observe.Report  `json:"observe,omitempty"`
+	Plan            *plan.Stats      `json:"plan,omitempty"`
 }
 
 // predictErrorCode classifies a Predict*Engine error for HTTP: naming an
@@ -542,8 +544,10 @@ func handleEngines(s *Service) http.HandlerFunc {
 //	POST /v2/predict/batch   — many kernels, one batched forecast (BatchRequestV2)
 //	POST /v2/predict/graph   — end-to-end workload forecast (GraphRequestV2)
 //	POST /v2/observe         — measured kernel latencies for drift detection (ObserveRequest)
+//	POST /v2/plan            — submit a what-if sweep as an async job (plan.Spec); GET lists jobs
+//	GET  /v2/plan/{id}       — poll a job's status and ranking; POST resumes, DELETE cancels
 //	GET  /v2/engines         — the registered engine set and default
-//	GET  /v2/stats           — aggregate, per-engine, per-shard, warmup, and drift counters
+//	GET  /v2/stats           — aggregate, per-engine, per-shard, warmup, drift, and plan counters
 //	POST /v1/predict/kernel|batch|graph — v1-shaped aliases, default engine
 //	GET  /v1/healthz         — liveness probe (also /v2/healthz)
 //	GET  /v1/stats           — aggregate counters only
@@ -557,6 +561,8 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v2/predict/batch", handleBatch(s, true))
 	mux.HandleFunc("/v2/predict/graph", handleGraph(s, true))
 	mux.HandleFunc("/v2/observe", handleObserve(s))
+	mux.HandleFunc("/v2/plan", handlePlan(s))
+	mux.HandleFunc("/v2/plan/", handlePlanID(s))
 	mux.HandleFunc("/v2/engines", handleEngines(s))
 	mux.HandleFunc("/v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsV2{
@@ -566,6 +572,7 @@ func NewHandler(s *Service) http.Handler {
 			Warmup:          s.Warmup(),
 			TraceCompaction: s.TraceCompaction(),
 			Observe:         s.ObserveReport(),
+			Plan:            s.PlanStats(),
 		})
 	})
 	healthz := func(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"neusight/internal/observe"
+	"neusight/internal/plan"
 )
 
 // MetricsContentType is the Prometheus text exposition content type served
@@ -177,9 +178,35 @@ func WriteWarmupMetrics(w io.Writer, ws *WarmupStats) error {
 	return nil
 }
 
+// WritePlanMetrics renders the planner counters; a process without a
+// planner exports none.
+func WritePlanMetrics(w io.Writer, ps *plan.Stats) error {
+	if ps == nil {
+		return nil
+	}
+	for _, m := range []promMetric{
+		{"neusight_plan_jobs", "Plan jobs known to this process (all states).", "gauge", float64(ps.Jobs)},
+		{"neusight_plan_jobs_active", "Plan jobs currently evaluating.", "gauge", float64(ps.Active)},
+		{"neusight_plan_jobs_submitted_total", "Plan jobs submitted.", "counter", float64(ps.Submitted)},
+		{"neusight_plan_jobs_completed_total", "Plan jobs completed with every cell evaluated.", "counter", float64(ps.Completed)},
+		{"neusight_plan_jobs_cancelled_total", "Plan jobs cancelled (resumable).", "counter", float64(ps.Cancelled)},
+		{"neusight_plan_jobs_failed_total", "Plan jobs failed before evaluating.", "counter", float64(ps.Failed)},
+		{"neusight_plan_configs_evaluated_total", "Plan configurations evaluated and checkpointed.", "counter", float64(ps.ConfigsEvaluated)},
+		{"neusight_plan_remote_batches_total", "Configuration batches dispatched to cluster peers.", "counter", float64(ps.RemoteBatches)},
+		{"neusight_plan_remote_failures_total", "Dispatched batches whose owner failed.", "counter", float64(ps.RemoteFailures)},
+		{"neusight_plan_redispatched_batches_total", "Failed batches re-evaluated locally by the survivor.", "counter", float64(ps.RedispatchedBatches)},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // metricsHandler serves the service counters as a Prometheus scrape target:
-// the aggregate families first, then the engine-, shard-, warmup-, and
-// drift-labeled families.
+// the aggregate families first, then the engine-, shard-, warmup-,
+// drift-, and planner-labeled families.
 func metricsHandler(s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
@@ -189,5 +216,6 @@ func metricsHandler(s *Service) http.HandlerFunc {
 		WriteShardMetrics(w, s.Shards())
 		WriteWarmupMetrics(w, s.Warmup())
 		observe.WriteMetrics(w, s.ObserveReport())
+		WritePlanMetrics(w, s.PlanStats())
 	}
 }

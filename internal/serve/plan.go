@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"neusight/internal/plan"
+)
+
+// The planner is an optional subsystem wired by cmd/neusight, like the
+// trace recorder and the observe monitor: the service holds an atomic
+// pointer, the HTTP layer serves 503 until one is attached.
+
+// SetPlanner attaches the plan job manager serving /v2/plan.
+func (s *Service) SetPlanner(m *plan.Manager) { s.planner.Store(m) }
+
+// Planner returns the attached plan manager, nil when none.
+func (s *Service) Planner() *plan.Manager { return s.planner.Load() }
+
+// PlanStats returns the planner's counters for /v2/stats, nil when no
+// planner is attached (the section is omitted).
+func (s *Service) PlanStats() *plan.Stats {
+	m := s.planner.Load()
+	if m == nil {
+		return nil
+	}
+	st := m.Stats()
+	return &st
+}
+
+// planErrorCode classifies a plan manager error for HTTP: unknown job ids
+// are 404, resuming a done job conflicts (409), a bad spec is the
+// client's fault (400).
+func planErrorCode(err error) int {
+	switch {
+	case errors.Is(err, plan.ErrNoJob):
+		return http.StatusNotFound
+	case errors.Is(err, plan.ErrJobDone):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handlePlan serves the /v2/plan collection: POST submits a spec and
+// returns the new job's status (202 — evaluation is asynchronous), GET
+// lists every job's summary.
+func handlePlan(s *Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := s.Planner()
+		if m == nil {
+			writeError(w, http.StatusServiceUnavailable, "planner not enabled on this process")
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			var spec plan.Spec
+			if !decodeBody(w, r, &spec) {
+				return
+			}
+			st, err := m.Submit(spec)
+			if err != nil {
+				writeError(w, planErrorCode(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusAccepted, st)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		}
+	}
+}
+
+// handlePlanID serves one job under /v2/plan/{id}: GET polls status and
+// (partial) ranking — ?full=1 forces the complete ranking while running —
+// DELETE cancels (in-flight batches drain; poll until state is
+// cancelled), POST resumes a cancelled job's unevaluated cells.
+func handlePlanID(s *Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := s.Planner()
+		if m == nil {
+			writeError(w, http.StatusServiceUnavailable, "planner not enabled on this process")
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/v2/plan/")
+		if id == "" || strings.Contains(id, "/") {
+			writeError(w, http.StatusNotFound, "want /v2/plan/{id}")
+			return
+		}
+		var (
+			st  plan.Status
+			err error
+		)
+		switch r.Method {
+		case http.MethodGet:
+			st, err = m.Get(id, r.URL.Query().Get("full") == "1")
+		case http.MethodDelete:
+			st, err = m.Cancel(id)
+		case http.MethodPost:
+			st, err = m.Resume(id)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "GET, POST, or DELETE only")
+			return
+		}
+		if err != nil {
+			writeError(w, planErrorCode(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"neusight/internal/graph"
 	"neusight/internal/kernels"
 	"neusight/internal/observe"
+	"neusight/internal/plan"
 	"neusight/internal/predict"
 	"neusight/internal/tile"
 )
@@ -141,6 +142,8 @@ type Service struct {
 	// observer, when set, accepts measured kernel latencies on /v2/observe
 	// and tracks prediction drift (observe.go).
 	observer atomic.Pointer[observe.Monitor]
+	// planner, when set, serves /v2/plan what-if sweeps (plan.go).
+	planner atomic.Pointer[plan.Manager]
 
 	emu     sync.RWMutex
 	engines map[string]*engineState

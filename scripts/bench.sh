@@ -13,6 +13,10 @@
 #   scripts/bench.sh --cluster-sweep # boot a 3-member in-process cluster and
 #                                    # embed its cluster-knee sweep under the
 #                                    # "cluster_sweep" key
+#   scripts/bench.sh --plan-sweep    # run the fleet-planner matrix benchmark
+#                                    # (configurations evaluated/s, single node
+#                                    # vs 3-member fan-out) and embed it under
+#                                    # the "plan_sweep" key
 #   BENCH_OUT=path scripts/bench.sh  # write elsewhere
 #   BENCH_TIME=2s BENCH_COUNT=5 scripts/bench.sh  # heavier measurement
 #   SWEEP_SCHEDULE=100:100:4000 scripts/bench.sh --sweep  # custom schedule
@@ -20,23 +24,42 @@
 # The default benchtime is iteration-bounded (not wall-clock) so CI pays a
 # bounded cost; for real measurement on quiet hardware, raise BENCH_TIME.
 # The committed BENCH_serve.json is the repo's perf trajectory: regenerate
-# it with --sweep --cluster-sweep when a PR changes the serving, cluster,
-# or prediction hot paths.
+# it with --sweep --cluster-sweep --plan-sweep when a PR changes the
+# serving, cluster, planner, or prediction hot paths.
+#
+# A sweep that fails validation (most commonly: no knee, because the first
+# step already breached SLO) fails this script loudly — non-zero exit, a
+# ::error annotation, and the partial artifact removed — so a knee-less
+# BENCH_serve.json can never be committed or uploaded by accident.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sweep=0
 cluster_sweep=0
+plan_sweep=0
 for arg in "$@"; do
   case "$arg" in
     --sweep) sweep=1 ;;
     --cluster-sweep) cluster_sweep=1 ;;
-    *) echo "bench.sh: unknown argument $arg (want --sweep and/or --cluster-sweep)" >&2; exit 2 ;;
+    --plan-sweep) plan_sweep=1 ;;
+    *) echo "bench.sh: unknown argument $arg (want --sweep, --cluster-sweep, and/or --plan-sweep)" >&2; exit 2 ;;
   esac
 done
 sweep_out=""
 cluster_out=""
-trap 'rm -f "${sweep_out:-}" "${cluster_out:-}"' EXIT
+plan_single_out=""
+plan_cluster_out=""
+trap 'rm -f "${sweep_out:-}" "${cluster_out:-}" "${plan_single_out:-}" "${plan_cluster_out:-}"' EXIT
+
+# fail_sweep <message> — a sweep produced an invalid or knee-less report.
+# Annotate for CI, drop the partial artifact (a BENCH_serve.json without
+# the sweep key it was asked to carry must not survive to be committed or
+# uploaded), and exit non-zero.
+fail_sweep() {
+  echo "::error::bench.sh: $1" >&2
+  rm -f "$out"
+  exit 1
+}
 
 out="${BENCH_OUT:-BENCH_serve.json}"
 count="${BENCH_COUNT:-3}"
@@ -115,7 +138,7 @@ if [[ "$sweep" == 1 ]]; then
     -sweep "$schedule" -step-duration "$step_duration" \
     -slo-p99 20 -slo-errors 0.02 -out "$sweep_out"
 
-  python3 - "$out" "$sweep_out" <<'EOF'
+  python3 - "$out" "$sweep_out" <<'EOF' || fail_sweep "single-node sweep validation failed (see above) — partial $out removed"
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -161,7 +184,7 @@ if [[ "$cluster_sweep" == 1 ]]; then
     -sweep "$cschedule" -step-duration "$cstep_duration" \
     -slo-p99 20 -slo-errors 0.02 -out "$cluster_out"
 
-  python3 - "$out" "$cluster_out" <<'EOF'
+  python3 - "$out" "$cluster_out" <<'EOF' || fail_sweep "cluster sweep validation failed (see above) — partial $out removed"
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -195,6 +218,64 @@ if single:
         print("bench.sh: WARNING: cluster knee below single-node knee — "
               "noisy host or a steering regression", file=sys.stderr)
 print(line)
+EOF
+fi
+
+# --plan-sweep: benchmark the fleet planner — one fixed what-if matrix
+# (6 GPUs x 3 strategies x 3 fleet sizes = 54 configurations) evaluated
+# through /v2/plan twice: on a single self-served node and fanned across a
+# 3-member in-process cluster. The headline metric is configurations
+# evaluated per second; the pair makes fan-out speedup (and any regression
+# in it) visible in the committed trajectory.
+if [[ "$plan_sweep" == 1 ]]; then
+  plan_matrix=(-model BERT-Large -gpus T4,L4,V100,P100,A100-80GB,H100
+               -strategies dp,tp,pp -fleets 1,2,4 -seed 7 -timeout 300s -top 1)
+  plan_single_out=$(mktemp)
+  plan_cluster_out=$(mktemp)
+  echo "==> neusight plan -self roofline (single node, 54-cell matrix)"
+  go run ./cmd/neusight plan -self roofline "${plan_matrix[@]}" -out "$plan_single_out"
+  echo "==> neusight plan -self roofline -self-cluster 3 (cluster fan-out)"
+  go run ./cmd/neusight plan -self roofline -self-cluster 3 "${plan_matrix[@]}" -out "$plan_cluster_out"
+
+  python3 - "$out" "$plan_single_out" "$plan_cluster_out" <<'EOF' || fail_sweep "plan sweep validation failed (see above) — partial $out removed"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def summarize(path, name, want_remote):
+    with open(path) as f:
+        st = json.load(f)
+    if st.get("state") != "done":
+        raise SystemExit(f"bench.sh: plan sweep {name} ended {st.get('state')!r}, want done")
+    if not st.get("total") or st.get("evaluated") != st["total"]:
+        raise SystemExit(f"bench.sh: plan sweep {name} evaluated "
+                         f"{st.get('evaluated')}/{st.get('total')} cells")
+    if not st.get("configs_per_sec"):
+        raise SystemExit(f"bench.sh: plan sweep {name} reports no configs_per_sec")
+    if want_remote and not st.get("remote_cells"):
+        raise SystemExit(f"bench.sh: plan sweep {name} fanned no cell to a peer")
+    top = (st.get("ranking") or [{}])[0]
+    return {
+        "total": st["total"],
+        "elapsed_sec": st["elapsed_sec"],
+        "configs_per_sec": st["configs_per_sec"],
+        "remote_cells": st.get("remote_cells", 0),
+        "redispatched_batches": st.get("redispatched_batches", 0),
+        "top_config": {k: top.get(k) for k in ("gpu", "strategy", "fleet",
+                                               "throughput_per_cost")},
+    }
+
+single = summarize(sys.argv[2], "single-node", want_remote=False)
+clustered = summarize(sys.argv[3], "3-member", want_remote=True)
+doc["plan_sweep"] = {"single": single, "cluster": clustered}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+speedup = clustered["configs_per_sec"] / single["configs_per_sec"]
+print(f"bench.sh: plan sweep {single['total']} cells — "
+      f"{single['configs_per_sec']:.1f} configs/s single, "
+      f"{clustered['configs_per_sec']:.1f} configs/s on 3 members "
+      f"({speedup:.2f}x, {clustered['remote_cells']} cells on peers)")
 EOF
 fi
 

@@ -26,6 +26,16 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+# staticcheck runs when available (CI installs a pinned version; locally
+# it is optional — `go install honnef.co/go/tools/cmd/staticcheck@2023.1.7`
+# to match CI). Gated on command -v so an offline checkout still passes.
+echo "==> staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+else
+  echo "staticcheck not installed; skipped (CI runs it pinned)"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -46,6 +56,12 @@ else
   # self-healing contract exercised against real processes, not httptest.
   echo "==> cluster kill-a-member e2e (scripts/e2e_cluster.sh)"
   bash scripts/e2e_cluster.sh
+
+  # Fleet-planner e2e: a /v2/plan what-if sweep fanned across a 2-member
+  # self-cluster must complete with every cell evaluated exactly once and
+  # a seed-stable ranking — the planner's async-job contract, end to end.
+  echo "==> fleet planner e2e (scripts/plan_e2e.sh)"
+  bash scripts/plan_e2e.sh
 fi
 
 # Docs gate: every versioned route the code actually serves must be

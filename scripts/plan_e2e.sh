@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# plan_e2e.sh — end-to-end gate for the fleet planner: submit a small
+# what-if sweep against a 2-member in-process cluster (one command, no
+# process management), poll the async job to completion, and assert the
+# ranking is non-empty, complete (every cell exactly once, none errored),
+# and stable — the same fixed seed on a fresh cluster must produce the
+# same top configurations — with at least some cells fanned to the peer.
+#
+# Run by scripts/check.sh (full mode) and the ci.yml plan-e2e step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out1=$(mktemp)
+out2=$(mktemp)
+trap 'rm -f "$out1" "$out2"' EXIT
+
+run_plan() {
+  go run ./cmd/neusight plan -self roofline -self-cluster 2 \
+    -model BERT-Large -gpus T4,L4,V100,A100-80GB -strategies dp,tp -fleets 1,2 \
+    -seed 7 -timeout 120s -out "$1" >/dev/null
+}
+
+echo "==> plan e2e: run 1 (2-member self-cluster, seed 7)"
+run_plan "$out1"
+echo "==> plan e2e: run 2 (same seed, fresh cluster)"
+run_plan "$out2"
+
+python3 - "$out1" "$out2" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+for name, doc in (("run 1", a), ("run 2", b)):
+    if doc.get("state") != "done":
+        raise SystemExit(f"plan_e2e: {name} state {doc.get('state')!r}, want done")
+    if not doc.get("total") or doc.get("evaluated") != doc["total"]:
+        raise SystemExit(f"plan_e2e: {name} evaluated "
+                         f"{doc.get('evaluated')}/{doc.get('total')} cells")
+    ranking = doc.get("ranking") or []
+    if len(ranking) != doc["total"]:
+        raise SystemExit(f"plan_e2e: {name} ranking has {len(ranking)} cells, "
+                         f"want {doc['total']}")
+    if len({r["index"] for r in ranking}) != doc["total"]:
+        raise SystemExit(f"plan_e2e: {name} ranked a cell twice")
+    errored = [r for r in ranking if r.get("error")]
+    if errored:
+        raise SystemExit(f"plan_e2e: {name} has errored cells: "
+                         f"{errored[0]['error']}")
+key = lambda r: (r["gpu"], r["strategy"], r["fleet"])
+top_a = [key(r) for r in a["ranking"][:3]]
+top_b = [key(r) for r in b["ranking"][:3]]
+if top_a != top_b:
+    raise SystemExit(f"plan_e2e: unstable ranking under a fixed seed: "
+                     f"{top_a} vs {top_b}")
+fanned = a.get("remote_cells", 0) + b.get("remote_cells", 0)
+if fanned == 0:
+    raise SystemExit("plan_e2e: no cell was evaluated by a peer — "
+                     "cluster fan-out is dead")
+print(f"plan_e2e: OK — {a['total']} cells, top config "
+      f"{'/'.join(map(str, top_a[0]))}, "
+      f"{a.get('remote_cells', 0)}+{b.get('remote_cells', 0)} cells "
+      f"evaluated by the peer")
+EOF
